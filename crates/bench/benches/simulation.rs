@@ -1,0 +1,68 @@
+//! Simulator throughput: fleet construction, hazard evaluation, ticket
+//! generation, and whole runs at each scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rainshine_dcsim::environment::EnvModel;
+use rainshine_dcsim::hazard::ComponentClass;
+use rainshine_dcsim::topology::Fleet;
+use rainshine_dcsim::{FleetConfig, Simulation};
+use rainshine_telemetry::time::SimTime;
+
+fn bench_fleet_build(c: &mut Criterion) {
+    let config = FleetConfig::paper_scale();
+    c.bench_function("fleet_build_paper", |b| b.iter(|| Fleet::build(&config)));
+}
+
+fn bench_env_sampling(c: &mut Criterion) {
+    let env = EnvModel::paper_layout(1);
+    c.bench_function("env_daily_mean_x1000", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for day in 0..1000 {
+                acc += env
+                    .daily_mean(
+                        rainshine_telemetry::ids::DcId(1),
+                        rainshine_telemetry::ids::RegionId(2),
+                        day,
+                    )
+                    .temp_f;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_hazard_eval(c: &mut Criterion) {
+    let config = FleetConfig::paper_scale();
+    let fleet = Fleet::build(&config);
+    let env = EnvModel::paper_layout(1);
+    let day = SimTime::from_date(2012, 7, 1, 0);
+    c.bench_function("hazard_full_fleet_day", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for rack in &fleet.racks {
+                let conditions = env.daily_mean(rack.dc, rack.region, day.days());
+                for class in ComponentClass::ALL {
+                    total += config.hazard.rack_day_rate(rack, class, conditions, day);
+                }
+            }
+            total
+        })
+    });
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_run");
+    group.sample_size(10);
+    for (name, config) in
+        [("small", FleetConfig::small()), ("medium", FleetConfig::medium())]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| Simulation::new(config.clone(), 42).run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_build, bench_env_sampling, bench_hazard_eval, bench_full_run);
+criterion_main!(benches);

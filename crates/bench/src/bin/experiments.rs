@@ -1,0 +1,111 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--scale small|medium|paper] [--seed N] [--out DIR] [--only ID[,ID...]]
+//! ```
+//!
+//! Writes one CSV per artifact into the output directory (default
+//! `results/`) and prints a preview of each.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rainshine_bench::{run_experiment, ExperimentContext, Scale, ALL_EXPERIMENTS};
+
+struct Args {
+    scale: Scale,
+    seed: u64,
+    out: PathBuf,
+    only: Option<Vec<String>>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Paper,
+        seed: 42,
+        out: PathBuf::from("results"),
+        only: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                let v = value("--scale")?;
+                args.scale =
+                    Scale::parse(&v).ok_or_else(|| format!("unknown scale `{v}`"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--only" => {
+                args.only =
+                    Some(value("--only")?.split(',').map(|s| s.trim().to_owned()).collect());
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: experiments [--scale small|medium|paper] [--seed N] \
+                     [--out DIR] [--only ID[,ID...]]"
+                        .to_owned(),
+                );
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ids: Vec<String> = match &args.only {
+        Some(list) => list.clone(),
+        None => ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect(),
+    };
+    eprintln!(
+        "simulating fleet ({:?} scale, seed {}) ...",
+        args.scale, args.seed
+    );
+    let t0 = std::time::Instant::now();
+    let mut ctx = ExperimentContext::new(args.scale, args.seed);
+    eprintln!(
+        "simulated {} racks, {} tickets in {:.1?}\n",
+        ctx.output.fleet.racks.len(),
+        ctx.output.tickets.len(),
+        t0.elapsed()
+    );
+    let mut failures = 0;
+    for id in &ids {
+        let t = std::time::Instant::now();
+        match run_experiment(id, &mut ctx, &args.out) {
+            Ok(preview) => {
+                println!("=== {id} ({:.1?}) ===\n{preview}", t.elapsed());
+            }
+            Err(e) => {
+                eprintln!("experiment {id} FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    eprintln!(
+        "done: {}/{} experiments, artifacts in {}",
+        ids.len() - failures,
+        ids.len(),
+        args.out.display()
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

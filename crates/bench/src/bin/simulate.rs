@@ -1,0 +1,154 @@
+//! Dumps a full synthetic dataset — the stand-in for the paper's
+//! production data — as CSVs for downstream analysis in any toolchain.
+//!
+//! ```text
+//! simulate [--scale small|medium|paper] [--seed N] [--out DIR]
+//! ```
+//!
+//! Writes `fleet.csv` (rack inventory), `tickets.csv` (the RMA stream,
+//! false positives flagged), `environment.csv` (daily mean inlet conditions
+//! per DC-region), and `manifest.json` (config + counts).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rainshine_bench::Scale;
+use rainshine_dcsim::Simulation;
+use rainshine_telemetry::ids::{DcId, RegionId};
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Medium;
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("dataset");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--scale" => {
+                    let v = value("--scale")?;
+                    scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale `{v}`"))?;
+                }
+                "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+                "--out" => out = PathBuf::from(value("--out")?),
+                "--help" | "-h" => {
+                    return Err("usage: simulate [--scale small|medium|paper] [--seed N] \
+                                [--out DIR]"
+                        .into())
+                }
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let config = match scale {
+        Scale::Small => rainshine_dcsim::FleetConfig::small(),
+        Scale::Medium => rainshine_dcsim::FleetConfig::medium(),
+        Scale::Paper => rainshine_dcsim::FleetConfig::paper_scale(),
+    };
+    eprintln!("simulating ({scale:?}, seed {seed}) ...");
+    let output = Simulation::new(config, seed).run();
+    if let Err(e) = write_dataset(&output, &out) {
+        eprintln!("failed to write dataset: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote {} racks, {} tickets to {}",
+        output.fleet.racks.len(),
+        output.tickets.len(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn write_dataset(
+    output: &rainshine_dcsim::SimulationOutput,
+    dir: &PathBuf,
+) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+
+    // Rack inventory.
+    let mut fleet = String::from(
+        "rack,dc,region,row,sku,workload,power_kw,commissioned_day,servers,disks_per_server,dimms_per_server\n",
+    );
+    for r in &output.fleet.racks {
+        let spec = r.sku_spec();
+        fleet.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.id,
+            r.dc,
+            r.region.0,
+            r.row.0,
+            r.sku,
+            r.workload,
+            r.power_kw,
+            r.commissioned_day,
+            r.servers,
+            spec.disks_per_server,
+            spec.dimms_per_server
+        ));
+    }
+    fs::write(dir.join("fleet.csv"), fleet)?;
+
+    // Ticket stream.
+    let mut tickets = String::from(
+        "device,dc,region,row,rack,server,category,fault,opened_hour,resolved_hour,repeat_count,false_positive\n",
+    );
+    for t in &output.tickets {
+        tickets.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            t.device,
+            t.location.dc,
+            t.location.region.0,
+            t.location.row.0,
+            t.location.rack,
+            t.location.server,
+            t.fault.category(),
+            t.fault,
+            t.opened.hours(),
+            t.resolved.hours(),
+            t.repeat_count,
+            t.false_positive
+        ));
+    }
+    fs::write(dir.join("tickets.csv"), tickets)?;
+
+    // Daily environment per DC-region.
+    let mut env = String::from("dc,region,day,temp_f,rh\n");
+    for dc_env in output.env.datacenters() {
+        let regions = dc_env.region_temp_offsets.len() as u8;
+        for region in 1..=regions {
+            for day in output.config.start.days()..output.config.end.days() {
+                let c = output.env.daily_mean(DcId(dc_env.dc.0), RegionId(region), day);
+                env.push_str(&format!(
+                    "{},{},{},{:.2},{:.2}\n",
+                    dc_env.dc, region, day, c.temp_f, c.rh
+                ));
+            }
+        }
+    }
+    fs::write(dir.join("environment.csv"), env)?;
+
+    // Manifest.
+    let manifest = serde_json::json!({
+        "seed": output.seed,
+        "start_day": output.config.start.days(),
+        "end_day": output.config.end.days(),
+        "racks": output.fleet.racks.len(),
+        "servers": output.fleet.total_servers(),
+        "tickets": output.tickets.len(),
+        "true_positives": output.true_positives().len(),
+        "hardware_tickets": output.hardware_tickets().len(),
+        "hazard": output.config.hazard,
+    });
+    fs::write(dir.join("manifest.json"), serde_json::to_string_pretty(&manifest)?)?;
+    Ok(())
+}

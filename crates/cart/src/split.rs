@@ -1,0 +1,617 @@
+//! Split-search machinery shared by regression and classification trees.
+//!
+//! For each candidate feature the search finds the binary partition of the
+//! node's rows that maximizes the decrease in *risk*:
+//!
+//! * regression — risk(node) = Σ (y − ȳ)² (the node deviance);
+//! * classification — risk(node) = n · Gini(node).
+//!
+//! Continuous and ordinal features are scanned over sorted distinct values.
+//! Nominal features are scanned over categories ordered by mean response
+//! (exact for these two criteria — Breiman et al. 1984, Thm. 4.5), or
+//! exhaustively when [`NominalSearch::Exhaustive`] is selected and the
+//! category count permits.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{FeatureColumn, Target};
+use crate::params::{CartParams, NominalSearch};
+
+/// A fitted split rule. Rows satisfying the rule go to the **left** child.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SplitRule {
+    /// Continuous: `value <= threshold` goes left.
+    ContinuousThreshold {
+        /// Feature name.
+        feature: String,
+        /// Split threshold (midpoint between adjacent observed values).
+        threshold: f64,
+    },
+    /// Ordinal: `level <= threshold` goes left.
+    OrdinalThreshold {
+        /// Feature name.
+        feature: String,
+        /// Highest level routed left.
+        threshold: i64,
+    },
+    /// Nominal: `code ∈ left_codes` goes left.
+    NominalSubset {
+        /// Feature name.
+        feature: String,
+        /// Category codes routed left.
+        left_codes: BTreeSet<u32>,
+        /// Labels for `left_codes` (for display).
+        left_labels: Vec<String>,
+    },
+}
+
+impl SplitRule {
+    /// The feature this rule tests.
+    pub fn feature(&self) -> &str {
+        match self {
+            SplitRule::ContinuousThreshold { feature, .. }
+            | SplitRule::OrdinalThreshold { feature, .. }
+            | SplitRule::NominalSubset { feature, .. } => feature,
+        }
+    }
+
+    /// Whether `row` of `column` goes to the left child.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column kind does not match the rule kind (the tree
+    /// guarantees consistency).
+    pub fn goes_left(&self, column: &FeatureColumn<'_>, row: usize) -> bool {
+        match (self, column) {
+            (SplitRule::ContinuousThreshold { threshold, .. }, FeatureColumn::Continuous(v)) => {
+                v[row] <= *threshold
+            }
+            (SplitRule::OrdinalThreshold { threshold, .. }, FeatureColumn::Ordinal(v)) => {
+                v[row] <= *threshold
+            }
+            (SplitRule::NominalSubset { left_codes, .. }, FeatureColumn::Nominal { codes, .. }) => {
+                left_codes.contains(&codes[row])
+            }
+            _ => panic!("split rule kind does not match column kind"),
+        }
+    }
+
+    /// Human-readable description, e.g. `temperature_f <= 78.4`.
+    pub fn describe(&self) -> String {
+        match self {
+            SplitRule::ContinuousThreshold { feature, threshold } => {
+                format!("{feature} <= {threshold:.4}")
+            }
+            SplitRule::OrdinalThreshold { feature, threshold } => {
+                format!("{feature} <= {threshold}")
+            }
+            SplitRule::NominalSubset { feature, left_labels, .. } => {
+                format!("{feature} in {{{}}}", left_labels.join(", "))
+            }
+        }
+    }
+}
+
+/// Incremental risk accumulator for one side of a candidate split.
+#[derive(Debug, Clone)]
+pub(crate) enum RiskAcc {
+    Reg { n: f64, sum: f64, sumsq: f64 },
+    Cls { n: f64, counts: Vec<f64> },
+}
+
+impl RiskAcc {
+    pub(crate) fn empty_like(target: &Target<'_>) -> Self {
+        match target {
+            Target::Regression(_) => RiskAcc::Reg { n: 0.0, sum: 0.0, sumsq: 0.0 },
+            Target::Classification { classes, .. } => {
+                RiskAcc::Cls { n: 0.0, counts: vec![0.0; classes.len()] }
+            }
+        }
+    }
+
+    pub(crate) fn add_row(&mut self, target: &Target<'_>, row: usize) {
+        match (self, target) {
+            (RiskAcc::Reg { n, sum, sumsq }, Target::Regression(y)) => {
+                *n += 1.0;
+                *sum += y[row];
+                *sumsq += y[row] * y[row];
+            }
+            (RiskAcc::Cls { n, counts }, Target::Classification { codes, .. }) => {
+                *n += 1.0;
+                counts[codes[row] as usize] += 1.0;
+            }
+            _ => unreachable!("accumulator kind matches target kind"),
+        }
+    }
+
+    pub(crate) fn n(&self) -> f64 {
+        match self {
+            RiskAcc::Reg { n, .. } | RiskAcc::Cls { n, .. } => *n,
+        }
+    }
+
+    /// Node risk: deviance (regression) or n·Gini (classification).
+    pub(crate) fn risk(&self) -> f64 {
+        match self {
+            RiskAcc::Reg { n, sum, sumsq } => {
+                if *n == 0.0 {
+                    0.0
+                } else {
+                    (sumsq - sum * sum / n).max(0.0)
+                }
+            }
+            RiskAcc::Cls { n, counts } => {
+                if *n == 0.0 {
+                    0.0
+                } else {
+                    *n * (1.0 - counts.iter().map(|c| (c / n).powi(2)).sum::<f64>())
+                }
+            }
+        }
+    }
+
+    /// Risk of the complement side given the node total.
+    pub(crate) fn complement_risk(&self, total: &RiskAcc) -> f64 {
+        match (self, total) {
+            (RiskAcc::Reg { n, sum, sumsq }, RiskAcc::Reg { n: tn, sum: ts, sumsq: tss }) => {
+                let rn = tn - n;
+                if rn <= 0.0 {
+                    0.0
+                } else {
+                    let rs = ts - sum;
+                    let rss = tss - sumsq;
+                    (rss - rs * rs / rn).max(0.0)
+                }
+            }
+            (RiskAcc::Cls { n, counts }, RiskAcc::Cls { n: tn, counts: tc }) => {
+                let rn = tn - n;
+                if rn <= 0.0 {
+                    0.0
+                } else {
+                    let gini = 1.0
+                        - counts
+                            .iter()
+                            .zip(tc)
+                            .map(|(c, t)| (((t - c) / rn)).powi(2))
+                            .sum::<f64>();
+                    rn * gini
+                }
+            }
+            _ => unreachable!("accumulator kinds match"),
+        }
+    }
+
+    /// Mean response (regression) or first-class proportion
+    /// (classification) — the ordering key for nominal categories.
+    fn ordering_key(&self) -> f64 {
+        match self {
+            RiskAcc::Reg { n, sum, .. } => {
+                if *n == 0.0 {
+                    0.0
+                } else {
+                    sum / n
+                }
+            }
+            RiskAcc::Cls { n, counts } => {
+                if *n == 0.0 {
+                    0.0
+                } else {
+                    counts.first().copied().unwrap_or(0.0) / n
+                }
+            }
+        }
+    }
+}
+
+/// Best split found for one node.
+#[derive(Debug, Clone)]
+pub(crate) struct BestSplit {
+    pub rule: SplitRule,
+    /// Absolute risk decrease achieved by the split.
+    pub improvement: f64,
+}
+
+/// Searches all features for the best split of `rows`.
+///
+/// Returns `None` if no admissible split exists (all features constant on
+/// the node, or min_leaf cannot be satisfied).
+pub(crate) fn best_split(
+    target: &Target<'_>,
+    features: &[(String, FeatureColumn<'_>)],
+    rows: &[usize],
+    parent_risk: f64,
+    params: &CartParams,
+) -> Option<BestSplit> {
+    let mut best: Option<BestSplit> = None;
+    for (name, column) in features {
+        let candidate = match column {
+            FeatureColumn::Continuous(values) => scan_ordered(
+                target,
+                rows,
+                parent_risk,
+                params,
+                |row| values[row],
+                |left_max, right_min| SplitRule::ContinuousThreshold {
+                    feature: name.clone(),
+                    threshold: (left_max + right_min) / 2.0,
+                },
+            ),
+            FeatureColumn::Ordinal(values) => scan_ordered(
+                target,
+                rows,
+                parent_risk,
+                params,
+                |row| values[row] as f64,
+                |left_max, _| SplitRule::OrdinalThreshold {
+                    feature: name.clone(),
+                    threshold: left_max as i64,
+                },
+            ),
+            FeatureColumn::Nominal { codes, categories } => {
+                scan_nominal(target, rows, parent_risk, params, name, codes, categories)
+            }
+        };
+        if let Some(c) = candidate {
+            let better = match &best {
+                None => true,
+                Some(b) => c.improvement > b.improvement,
+            };
+            if better {
+                best = Some(c);
+            }
+        }
+    }
+    best
+}
+
+/// Scans an ordered feature: sorts rows by value, sweeps prefix boundaries
+/// between distinct values.
+fn scan_ordered<V, M>(
+    target: &Target<'_>,
+    rows: &[usize],
+    parent_risk: f64,
+    params: &CartParams,
+    value_of: V,
+    make_rule: M,
+) -> Option<BestSplit>
+where
+    V: Fn(usize) -> f64,
+    M: Fn(f64, f64) -> SplitRule,
+{
+    let mut order: Vec<usize> = rows.to_vec();
+    order.sort_by(|&a, &b| value_of(a).partial_cmp(&value_of(b)).expect("finite feature"));
+    let mut total = RiskAcc::empty_like(target);
+    for &r in rows {
+        total.add_row(target, r);
+    }
+    let n = rows.len();
+    let mut left = RiskAcc::empty_like(target);
+    let mut best: Option<(f64, usize)> = None; // (improvement, boundary index)
+    for i in 0..n - 1 {
+        left.add_row(target, order[i]);
+        // Only split between distinct values.
+        if value_of(order[i]) == value_of(order[i + 1]) {
+            continue;
+        }
+        let left_n = i + 1;
+        let right_n = n - left_n;
+        if left_n < params.min_leaf || right_n < params.min_leaf {
+            continue;
+        }
+        let improvement = parent_risk - left.risk() - left.complement_risk(&total);
+        if improvement > best.map_or(0.0, |b| b.0) {
+            best = Some((improvement, i));
+        }
+    }
+    best.map(|(improvement, i)| BestSplit {
+        rule: make_rule(value_of(order[i]), value_of(order[i + 1])),
+        improvement,
+    })
+}
+
+/// Scans a nominal feature.
+fn scan_nominal(
+    target: &Target<'_>,
+    rows: &[usize],
+    parent_risk: f64,
+    params: &CartParams,
+    name: &str,
+    codes: &[u32],
+    categories: &[String],
+) -> Option<BestSplit> {
+    // Aggregate per category present in this node.
+    let mut per_cat: Vec<(u32, RiskAcc)> = Vec::new();
+    for &r in rows {
+        let code = codes[r];
+        match per_cat.iter_mut().find(|(c, _)| *c == code) {
+            Some((_, acc)) => acc.add_row(target, r),
+            None => {
+                let mut acc = RiskAcc::empty_like(target);
+                acc.add_row(target, r);
+                per_cat.push((code, acc));
+            }
+        }
+    }
+    if per_cat.len() < 2 {
+        return None;
+    }
+    let exhaustive = params.nominal_search == NominalSearch::Exhaustive
+        && per_cat.len() <= params.exhaustive_limit;
+    if exhaustive {
+        scan_nominal_exhaustive(target, rows, parent_risk, params, name, codes, categories, &per_cat)
+    } else {
+        scan_nominal_ordered(target, rows, parent_risk, params, name, codes, categories, &per_cat)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_nominal_ordered(
+    target: &Target<'_>,
+    rows: &[usize],
+    parent_risk: f64,
+    params: &CartParams,
+    name: &str,
+    codes: &[u32],
+    categories: &[String],
+    per_cat: &[(u32, RiskAcc)],
+) -> Option<BestSplit> {
+    let mut ordered: Vec<&(u32, RiskAcc)> = per_cat.iter().collect();
+    ordered.sort_by(|a, b| {
+        a.1.ordering_key()
+            .partial_cmp(&b.1.ordering_key())
+            .expect("finite ordering key")
+            .then(a.0.cmp(&b.0))
+    });
+    let mut total = RiskAcc::empty_like(target);
+    for &r in rows {
+        total.add_row(target, r);
+    }
+    let n = rows.len();
+    let mut left = RiskAcc::empty_like(target);
+    let mut left_codes: BTreeSet<u32> = BTreeSet::new();
+    let mut best: Option<(f64, BTreeSet<u32>)> = None;
+    for (k, (code, _)) in ordered.iter().enumerate().take(ordered.len() - 1) {
+        // Move category k into the left side.
+        for &r in rows {
+            if codes[r] == *code {
+                left.add_row(target, r);
+            }
+        }
+        left_codes.insert(*code);
+        let left_n = left.n() as usize;
+        let right_n = n - left_n;
+        let _ = k;
+        if left_n < params.min_leaf || right_n < params.min_leaf {
+            continue;
+        }
+        let improvement = parent_risk - left.risk() - left.complement_risk(&total);
+        if improvement > best.as_ref().map_or(0.0, |b| b.0) {
+            best = Some((improvement, left_codes.clone()));
+        }
+    }
+    best.map(|(improvement, set)| BestSplit {
+        rule: SplitRule::NominalSubset {
+            feature: name.to_owned(),
+            left_labels: set.iter().map(|&c| categories[c as usize].clone()).collect(),
+            left_codes: set,
+        },
+        improvement,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_nominal_exhaustive(
+    target: &Target<'_>,
+    rows: &[usize],
+    parent_risk: f64,
+    params: &CartParams,
+    name: &str,
+    codes: &[u32],
+    categories: &[String],
+    per_cat: &[(u32, RiskAcc)],
+) -> Option<BestSplit> {
+    let cats: Vec<u32> = per_cat.iter().map(|(c, _)| *c).collect();
+    let k = cats.len();
+    let mut total = RiskAcc::empty_like(target);
+    for &r in rows {
+        total.add_row(target, r);
+    }
+    let n = rows.len();
+    let mut best: Option<(f64, BTreeSet<u32>)> = None;
+    // Iterate proper non-empty subsets; fix category 0 on the right to halve
+    // the space (masks over cats[1..]).
+    for mask in 1u64..(1 << (k - 1)) {
+        let mut left = RiskAcc::empty_like(target);
+        let mut set = BTreeSet::new();
+        for (bit, &cat) in cats[1..].iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                set.insert(cat);
+            }
+        }
+        for &r in rows {
+            if set.contains(&codes[r]) {
+                left.add_row(target, r);
+            }
+        }
+        let left_n = left.n() as usize;
+        let right_n = n - left_n;
+        if left_n < params.min_leaf || right_n < params.min_leaf {
+            continue;
+        }
+        let improvement = parent_risk - left.risk() - left.complement_risk(&total);
+        if improvement > best.as_ref().map_or(0.0, |b| b.0) {
+            best = Some((improvement, set));
+        }
+    }
+    best.map(|(improvement, set)| BestSplit {
+        rule: SplitRule::NominalSubset {
+            feature: name.to_owned(),
+            left_labels: set.iter().map(|&c| categories[c as usize].clone()).collect(),
+            left_codes: set,
+        },
+        improvement,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg_target(values: &[f64]) -> Target<'_> {
+        Target::Regression(values)
+    }
+
+    #[test]
+    fn risk_acc_regression_matches_ssd() {
+        let y = [1.0, 2.0, 3.0, 10.0];
+        let t = reg_target(&y);
+        let mut acc = RiskAcc::empty_like(&t);
+        for r in 0..4 {
+            acc.add_row(&t, r);
+        }
+        let expected = rainshine_stats::impurity::sum_squared_deviation(&y);
+        assert!((acc.risk() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complement_risk_matches_direct() {
+        let y = [1.0, 2.0, 3.0, 10.0, 4.0];
+        let t = reg_target(&y);
+        let mut total = RiskAcc::empty_like(&t);
+        for r in 0..5 {
+            total.add_row(&t, r);
+        }
+        let mut left = RiskAcc::empty_like(&t);
+        left.add_row(&t, 0);
+        left.add_row(&t, 3);
+        let mut right = RiskAcc::empty_like(&t);
+        for r in [1, 2, 4] {
+            right.add_row(&t, r);
+        }
+        assert!((left.complement_risk(&total) - right.risk()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordered_scan_finds_step() {
+        let y = [0.0, 0.0, 0.0, 10.0, 10.0, 10.0];
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let t = reg_target(&y);
+        let rows: Vec<usize> = (0..6).collect();
+        let mut parent = RiskAcc::empty_like(&t);
+        for &r in &rows {
+            parent.add_row(&t, r);
+        }
+        let params = CartParams::default().with_min_sizes(2, 1);
+        let features = vec![("x".to_owned(), FeatureColumn::Continuous(&x))];
+        let best = best_split(&t, &features, &rows, parent.risk(), &params).unwrap();
+        match best.rule {
+            SplitRule::ContinuousThreshold { threshold, .. } => {
+                assert!((threshold - 3.5).abs() < 1e-9);
+            }
+            _ => panic!("expected continuous rule"),
+        }
+        // Perfect split removes all deviance.
+        assert!((best.improvement - parent.risk()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nominal_ordered_matches_exhaustive_for_regression() {
+        // 4 categories with means 1, 9, 2, 8 — optimal partition {a, c} | {b, d}.
+        let codes = [0u32, 0, 1, 1, 2, 2, 3, 3];
+        let y = [1.0, 1.2, 9.0, 8.8, 2.0, 2.2, 8.0, 8.2];
+        let cats: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let t = reg_target(&y);
+        let rows: Vec<usize> = (0..8).collect();
+        let mut parent = RiskAcc::empty_like(&t);
+        for &r in &rows {
+            parent.add_row(&t, r);
+        }
+        let mut params = CartParams::default().with_min_sizes(2, 1);
+        let features =
+            vec![("k".to_owned(), FeatureColumn::Nominal { codes: &codes, categories: &cats })];
+
+        let ordered = best_split(&t, &features, &rows, parent.risk(), &params).unwrap();
+        params.nominal_search = NominalSearch::Exhaustive;
+        let exhaustive = best_split(&t, &features, &rows, parent.risk(), &params).unwrap();
+        assert!((ordered.improvement - exhaustive.improvement).abs() < 1e-9);
+        match &ordered.rule {
+            SplitRule::NominalSubset { left_codes, .. } => {
+                // Low-mean side: categories a (0) and c (2).
+                assert_eq!(left_codes.iter().copied().collect::<Vec<_>>(), vec![0, 2]);
+            }
+            _ => panic!("expected nominal rule"),
+        }
+    }
+
+    #[test]
+    fn min_leaf_blocks_extreme_splits() {
+        let y = [0.0, 10.0, 10.0, 10.0, 10.0, 10.0];
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let t = reg_target(&y);
+        let rows: Vec<usize> = (0..6).collect();
+        let mut parent = RiskAcc::empty_like(&t);
+        for &r in &rows {
+            parent.add_row(&t, r);
+        }
+        // min_leaf = 3 forbids the 1|5 split that isolates the outlier.
+        let params = CartParams::default().with_min_sizes(2, 3);
+        let features = vec![("x".to_owned(), FeatureColumn::Continuous(&x))];
+        let best = best_split(&t, &features, &rows, parent.risk(), &params).unwrap();
+        match best.rule {
+            SplitRule::ContinuousThreshold { threshold, .. } => {
+                assert!((threshold - 3.5).abs() < 1e-9, "got {threshold}");
+            }
+            _ => panic!("expected continuous rule"),
+        }
+    }
+
+    #[test]
+    fn constant_feature_yields_no_split() {
+        let y = [0.0, 1.0, 2.0, 3.0];
+        let x = [5.0, 5.0, 5.0, 5.0];
+        let t = reg_target(&y);
+        let rows: Vec<usize> = (0..4).collect();
+        let features = vec![("x".to_owned(), FeatureColumn::Continuous(&x))];
+        let params = CartParams::default().with_min_sizes(2, 1);
+        assert!(best_split(&t, &features, &rows, 10.0, &params).is_none());
+    }
+
+    #[test]
+    fn classification_split_on_gini() {
+        let codes = [0u32, 0, 0, 1, 1, 1];
+        let classes: Vec<String> = vec!["no".into(), "yes".into()];
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let t = Target::Classification { codes: &codes, classes: &classes };
+        let rows: Vec<usize> = (0..6).collect();
+        let mut parent = RiskAcc::empty_like(&t);
+        for &r in &rows {
+            parent.add_row(&t, r);
+        }
+        // Parent gini risk: 6 * 0.5 = 3.
+        assert!((parent.risk() - 3.0).abs() < 1e-9);
+        let features = vec![("x".to_owned(), FeatureColumn::Continuous(&x))];
+        let params = CartParams::default().with_min_sizes(2, 1);
+        let best = best_split(&t, &features, &rows, parent.risk(), &params).unwrap();
+        assert!((best.improvement - 3.0).abs() < 1e-9, "perfect split");
+    }
+
+    #[test]
+    fn rule_describe_and_goes_left() {
+        let rule = SplitRule::ContinuousThreshold { feature: "t".into(), threshold: 78.0 };
+        let values = [70.0, 80.0];
+        let col = FeatureColumn::Continuous(&values);
+        assert!(rule.goes_left(&col, 0));
+        assert!(!rule.goes_left(&col, 1));
+        assert_eq!(rule.describe(), "t <= 78.0000");
+
+        let set: BTreeSet<u32> = [1u32].into_iter().collect();
+        let rule = SplitRule::NominalSubset {
+            feature: "k".into(),
+            left_codes: set,
+            left_labels: vec!["b".into()],
+        };
+        assert_eq!(rule.describe(), "k in {b}");
+    }
+}

@@ -1,0 +1,620 @@
+//! Tree fitting, prediction, and inspection.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use rainshine_telemetry::table::Table;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{feature_column, CartDataset, FeatureColumn, Target};
+use crate::params::CartParams;
+use crate::split::{best_split, RiskAcc, SplitRule};
+use crate::{CartError, Result};
+
+/// Whether a tree predicts a continuous mean or a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeKind {
+    /// Continuous target, variance impurity (`rpart` "anova").
+    Regression,
+    /// Nominal target, Gini impurity.
+    Classification,
+}
+
+/// One node of a fitted tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Index of this node in [`Tree::nodes`].
+    pub id: usize,
+    /// Depth (root = 0).
+    pub depth: usize,
+    /// Training observations reaching this node.
+    pub n: usize,
+    /// Node risk: deviance (regression) or n·Gini (classification).
+    pub risk: f64,
+    /// Mean response (regression) or majority-class code (classification).
+    pub prediction: f64,
+    /// Per-class training counts (classification only).
+    pub class_counts: Option<Vec<f64>>,
+    /// Split applied at this node (`None` for leaves).
+    pub rule: Option<SplitRule>,
+    /// Left child index.
+    pub left: Option<usize>,
+    /// Right child index.
+    pub right: Option<usize>,
+    /// Risk decrease achieved by this node's split (0 for leaves).
+    pub improvement: f64,
+}
+
+impl Node {
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.rule.is_none()
+    }
+}
+
+/// A fitted CART model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    kind: TreeKind,
+    nodes: Vec<Node>,
+    feature_names: Vec<String>,
+    target_name: String,
+    root_risk: f64,
+    classes: Vec<String>,
+}
+
+impl Tree {
+    /// Fits a tree to the whole dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid parameters or an empty dataset.
+    pub fn fit(dataset: &CartDataset<'_>, params: &CartParams) -> Result<Self> {
+        let rows: Vec<usize> = (0..dataset.len()).collect();
+        Self::fit_on_rows(dataset, params, &rows)
+    }
+
+    /// Fits a tree using only the given training rows (cross-validation
+    /// folds use this).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid parameters or an empty row set.
+    pub fn fit_on_rows(
+        dataset: &CartDataset<'_>,
+        params: &CartParams,
+        rows: &[usize],
+    ) -> Result<Self> {
+        params.validate()?;
+        if rows.is_empty() {
+            return Err(CartError::EmptyDataset);
+        }
+        let target = dataset.target();
+        let features: Vec<(String, FeatureColumn<'_>)> = dataset
+            .feature_names()
+            .iter()
+            .map(|name| Ok((name.clone(), dataset.feature(name)?)))
+            .collect::<Result<_>>()?;
+
+        let classes = match &target {
+            Target::Regression(_) => Vec::new(),
+            Target::Classification { classes, .. } => classes.to_vec(),
+        };
+        let kind = if dataset.is_regression() {
+            TreeKind::Regression
+        } else {
+            TreeKind::Classification
+        };
+
+        let mut tree = Tree {
+            kind,
+            nodes: Vec::new(),
+            feature_names: dataset.feature_names().to_vec(),
+            target_name: dataset.target_name().to_owned(),
+            root_risk: 0.0,
+            classes,
+        };
+
+        // Depth-first growth with an explicit stack of (node id, rows).
+        let root_id = tree.push_node(&target, rows.to_vec(), 0);
+        tree.root_risk = tree.nodes[root_id].risk;
+        let mut stack: Vec<(usize, Vec<usize>)> = vec![(root_id, rows.to_vec())];
+        while let Some((node_id, node_rows)) = stack.pop() {
+            let depth = tree.nodes[node_id].depth;
+            let risk = tree.nodes[node_id].risk;
+            if depth >= params.max_depth
+                || node_rows.len() < params.min_split
+                || risk <= 1e-12
+            {
+                continue;
+            }
+            let Some(split) = best_split(&target, &features, &node_rows, risk, params) else {
+                continue;
+            };
+            // rpart semantics: the split must improve fit by cp · root risk.
+            if tree.root_risk > 0.0 && split.improvement < params.cp * tree.root_risk {
+                continue;
+            }
+            let column = features
+                .iter()
+                .find(|(n, _)| n == split.rule.feature())
+                .map(|(_, c)| c)
+                .expect("split rule references a known feature");
+            let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                node_rows.iter().partition(|&&r| split.rule.goes_left(column, r));
+            if left_rows.is_empty() || right_rows.is_empty() {
+                continue;
+            }
+            let left_id = tree.push_node(&target, left_rows.clone(), depth + 1);
+            let right_id = tree.push_node(&target, right_rows.clone(), depth + 1);
+            {
+                let node = &mut tree.nodes[node_id];
+                node.rule = Some(split.rule);
+                node.improvement = split.improvement;
+                node.left = Some(left_id);
+                node.right = Some(right_id);
+            }
+            stack.push((left_id, left_rows));
+            stack.push((right_id, right_rows));
+        }
+        Ok(tree)
+    }
+
+    fn push_node(&mut self, target: &Target<'_>, rows: Vec<usize>, depth: usize) -> usize {
+        let mut acc = RiskAcc::empty_like(target);
+        for &r in &rows {
+            acc.add_row(target, r);
+        }
+        let (prediction, class_counts) = match (target, &acc) {
+            (Target::Regression(_), RiskAcc::Reg { n, sum, .. }) => (sum / n, None),
+            (Target::Classification { .. }, RiskAcc::Cls { counts, .. }) => {
+                let majority = counts
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite counts"))
+                    .map(|(i, _)| i as f64)
+                    .unwrap_or(0.0);
+                (majority, Some(counts.clone()))
+            }
+            _ => unreachable!("accumulator kind matches target"),
+        };
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            depth,
+            n: rows.len(),
+            risk: acc.risk(),
+            prediction,
+            class_counts,
+            rule: None,
+            left: None,
+            right: None,
+            improvement: 0.0,
+        });
+        id
+    }
+
+    /// The tree kind.
+    pub fn kind(&self) -> TreeKind {
+        self.kind
+    }
+
+    /// All nodes; index 0 is the root.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &Node {
+        &self.nodes[0]
+    }
+
+    /// Risk of the root node (total deviance / Gini mass).
+    pub fn root_risk(&self) -> f64 {
+        self.root_risk
+    }
+
+    /// Class labels (empty for regression).
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Leaf nodes in id order.
+    pub fn leaves(&self) -> Vec<&Node> {
+        self.nodes.iter().filter(|n| n.is_leaf()).collect()
+    }
+
+    /// Maximum node depth.
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Feature names the tree may reference.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// The target column name the tree was fitted on.
+    pub fn target_name(&self) -> &str {
+        &self.target_name
+    }
+
+    /// Resolves the feature columns the tree needs from `table`.
+    fn resolve_columns<'t>(
+        &self,
+        table: &'t Table,
+    ) -> Result<HashMap<&str, FeatureColumn<'t>>> {
+        let mut map = HashMap::new();
+        for name in &self.feature_names {
+            if table.schema().index_of(name).is_none() {
+                return Err(CartError::MissingFeature { name: name.clone() });
+            }
+            map.insert(name.as_str(), feature_column(table, name)?);
+        }
+        Ok(map)
+    }
+
+    /// The leaf node id each row of `table` lands in.
+    ///
+    /// Unseen nominal categories route to the right child (they are not in
+    /// any `left_codes` set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CartError::MissingFeature`] if `table` lacks a feature the
+    /// tree references.
+    pub fn leaf_assignments(&self, table: &Table) -> Result<Vec<usize>> {
+        let columns = self.resolve_columns(table)?;
+        Ok((0..table.rows()).map(|row| self.walk(&columns, row)).collect())
+    }
+
+    fn walk(&self, columns: &HashMap<&str, FeatureColumn<'_>>, row: usize) -> usize {
+        let mut id = 0;
+        loop {
+            let node = &self.nodes[id];
+            let Some(rule) = &node.rule else {
+                return id;
+            };
+            let column = &columns[rule.feature()];
+            id = if rule.goes_left(column, row) {
+                node.left.expect("split node has left child")
+            } else {
+                node.right.expect("split node has right child")
+            };
+        }
+    }
+
+    /// Predicted values for every row of `table`: the leaf mean for
+    /// regression, the majority class code for classification.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tree::leaf_assignments`].
+    pub fn predict(&self, table: &Table) -> Result<Vec<f64>> {
+        Ok(self
+            .leaf_assignments(table)?
+            .into_iter()
+            .map(|leaf| self.nodes[leaf].prediction)
+            .collect())
+    }
+
+    /// Variable importance: total risk decrease attributed to each feature
+    /// across all splits, normalized to sum to 100. Features never used
+    /// score 0. Sorted descending.
+    pub fn variable_importance(&self) -> Vec<(String, f64)> {
+        let mut raw: HashMap<&str, f64> = HashMap::new();
+        for node in &self.nodes {
+            if let Some(rule) = &node.rule {
+                *raw.entry(rule.feature()).or_insert(0.0) += node.improvement;
+            }
+        }
+        let total: f64 = raw.values().sum();
+        let mut out: Vec<(String, f64)> = self
+            .feature_names
+            .iter()
+            .map(|name| {
+                let v = raw.get(name.as_str()).copied().unwrap_or(0.0);
+                (name.clone(), if total > 0.0 { 100.0 * v / total } else { 0.0 })
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importance"));
+        out
+    }
+
+    /// The chain of split descriptions from the root down to `leaf_id`,
+    /// e.g. `["datacenter in {DC1}", "temperature_f <= 78.4"]`. Each entry
+    /// is suffixed with `" (no)"` when the path takes the right branch.
+    ///
+    /// Returns an empty vector for the root, or if `leaf_id` is unknown.
+    pub fn path_to(&self, leaf_id: usize) -> Vec<String> {
+        // Parent links are implicit; rebuild by search (trees are small).
+        let mut parent: HashMap<usize, (usize, bool)> = HashMap::new();
+        for node in &self.nodes {
+            if let (Some(l), Some(r)) = (node.left, node.right) {
+                parent.insert(l, (node.id, true));
+                parent.insert(r, (node.id, false));
+            }
+        }
+        let mut path = Vec::new();
+        let mut id = leaf_id;
+        while let Some(&(p, went_left)) = parent.get(&id) {
+            let rule = self.nodes[p].rule.as_ref().expect("parent has rule");
+            let mut desc = rule.describe();
+            if !went_left {
+                desc.push_str(" (no)");
+            }
+            path.push(desc);
+            id = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// A compact text rendering of the tree, one node per line.
+    pub fn format_text(&self) -> String {
+        let mut out = String::new();
+        self.format_node(0, 0, &mut out);
+        out
+    }
+
+    fn format_node(&self, id: usize, indent: usize, out: &mut String) {
+        let node = &self.nodes[id];
+        let pad = "  ".repeat(indent);
+        match &node.rule {
+            Some(rule) => {
+                let _ = writeln!(
+                    out,
+                    "{pad}[{id}] n={} risk={:.3} pred={:.4} split: {}",
+                    node.n,
+                    node.risk,
+                    node.prediction,
+                    rule.describe()
+                );
+                self.format_node(node.left.expect("split has left"), indent + 1, out);
+                self.format_node(node.right.expect("split has right"), indent + 1, out);
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{pad}[{id}] n={} risk={:.3} pred={:.4} (leaf)",
+                    node.n, node.risk, node.prediction
+                );
+            }
+        }
+    }
+
+    /// Replaces the subtree rooted at `node_id` with a leaf (used by
+    /// pruning). Descendant nodes become unreachable but remain in the
+    /// arena; [`Tree::compact`] removes them.
+    pub(crate) fn collapse(&mut self, node_id: usize) {
+        let node = &mut self.nodes[node_id];
+        node.rule = None;
+        node.left = None;
+        node.right = None;
+        node.improvement = 0.0;
+    }
+
+    /// Rebuilds the node arena dropping unreachable nodes and renumbering
+    /// ids (root stays 0).
+    pub(crate) fn compact(&mut self) {
+        let mut keep = Vec::new();
+        let mut remap: HashMap<usize, usize> = HashMap::new();
+        let mut stack = vec![0usize];
+        // DFS preserving a stable order.
+        while let Some(id) = stack.pop() {
+            if remap.contains_key(&id) {
+                continue;
+            }
+            remap.insert(id, keep.len());
+            keep.push(id);
+            let node = &self.nodes[id];
+            if let (Some(l), Some(r)) = (node.left, node.right) {
+                stack.push(r);
+                stack.push(l);
+            }
+        }
+        let mut new_nodes = Vec::with_capacity(keep.len());
+        for &old_id in &keep {
+            let mut node = self.nodes[old_id].clone();
+            node.id = remap[&old_id];
+            node.left = node.left.map(|l| remap[&l]);
+            node.right = node.right.map(|r| remap[&r]);
+            new_nodes.push(node);
+        }
+        new_nodes.sort_by_key(|n| n.id);
+        self.nodes = new_nodes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainshine_telemetry::table::{FeatureKind, Field, Schema, TableBuilder, Value};
+
+    /// y = 1 for x<30; 5 for 30<=x<70 and k=="a"; 9 otherwise.
+    fn step_table(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("x", FeatureKind::Continuous),
+            Field::new("k", FeatureKind::Nominal),
+            Field::new("y", FeatureKind::Continuous),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..n {
+            let x = (i % 100) as f64;
+            let k = if i % 2 == 0 { "a" } else { "b" };
+            let y = if x < 30.0 {
+                1.0
+            } else if x < 70.0 && k == "a" {
+                5.0
+            } else {
+                9.0
+            };
+            b.push_row(vec![Value::Continuous(x), k.into(), Value::Continuous(y)]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fits_and_recovers_structure() {
+        let t = step_table(400);
+        let ds = CartDataset::regression(&t, "y", &["x", "k"]).unwrap();
+        let tree = Tree::fit(&ds, &CartParams::default()).unwrap();
+        assert!(tree.leaf_count() >= 3, "tree: {}", tree.format_text());
+        // Predictions reproduce the generating rule exactly (pure leaves).
+        let preds = tree.predict(&t).unwrap();
+        let y = t.continuous("y").unwrap();
+        for (p, target) in preds.iter().zip(y) {
+            assert!((p - target).abs() < 1e-9, "pred {p} target {target}");
+        }
+    }
+
+    #[test]
+    fn every_row_lands_in_exactly_one_leaf() {
+        let t = step_table(200);
+        let ds = CartDataset::regression(&t, "y", &["x", "k"]).unwrap();
+        let tree = Tree::fit(&ds, &CartParams::default()).unwrap();
+        let leaves = tree.leaf_assignments(&t).unwrap();
+        assert_eq!(leaves.len(), t.rows());
+        for &leaf in &leaves {
+            assert!(tree.nodes()[leaf].is_leaf());
+        }
+        // Leaf sizes sum to the dataset size.
+        let total: usize = tree.leaves().iter().map(|l| l.n).sum();
+        assert_eq!(total, t.rows());
+    }
+
+    #[test]
+    fn importance_ranks_informative_feature_first() {
+        let t = step_table(400);
+        let ds = CartDataset::regression(&t, "y", &["x", "k"]).unwrap();
+        let tree = Tree::fit(&ds, &CartParams::default()).unwrap();
+        let imp = tree.variable_importance();
+        assert_eq!(imp[0].0, "x");
+        assert!(imp[0].1 > imp[1].1);
+        let total: f64 = imp.iter().map(|(_, v)| v).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cp_controls_tree_size() {
+        let t = step_table(400);
+        let ds = CartDataset::regression(&t, "y", &["x", "k"]).unwrap();
+        let small = Tree::fit(&ds, &CartParams::default().with_cp(0.5)).unwrap();
+        let large = Tree::fit(&ds, &CartParams::default().with_cp(0.0001)).unwrap();
+        assert!(small.leaf_count() <= large.leaf_count());
+        assert!(small.leaf_count() >= 1);
+    }
+
+    #[test]
+    fn max_depth_respected() {
+        let t = step_table(400);
+        let ds = CartDataset::regression(&t, "y", &["x", "k"]).unwrap();
+        let tree = Tree::fit(&ds, &CartParams::default().with_max_depth(1)).unwrap();
+        assert!(tree.depth() <= 1);
+        assert!(tree.leaf_count() <= 2);
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let schema = Schema::new(vec![
+            Field::new("x", FeatureKind::Continuous),
+            Field::new("y", FeatureKind::Continuous),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..50 {
+            b.push_row(vec![Value::Continuous(i as f64), Value::Continuous(3.0)]).unwrap();
+        }
+        let t = b.build();
+        let ds = CartDataset::regression(&t, "y", &["x"]).unwrap();
+        let tree = Tree::fit(&ds, &CartParams::default()).unwrap();
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.root().prediction, 3.0);
+    }
+
+    #[test]
+    fn classification_tree_predicts_classes() {
+        let schema = Schema::new(vec![
+            Field::new("x", FeatureKind::Continuous),
+            Field::new("c", FeatureKind::Nominal),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..200 {
+            let x = i as f64;
+            let c = if x < 100.0 { "low" } else { "high" };
+            b.push_row(vec![Value::Continuous(x), c.into()]).unwrap();
+        }
+        let t = b.build();
+        let ds = CartDataset::classification(&t, "c", &["x"]).unwrap();
+        let tree = Tree::fit(&ds, &CartParams::default()).unwrap();
+        assert_eq!(tree.kind(), TreeKind::Classification);
+        assert_eq!(tree.classes(), &["low", "high"]);
+        let preds = tree.predict(&t).unwrap();
+        let codes = t.nominal_codes("c").unwrap();
+        let correct =
+            preds.iter().zip(codes).filter(|(p, &c)| **p as u32 == c).count();
+        assert_eq!(correct, 200, "perfectly separable");
+    }
+
+    #[test]
+    fn path_to_describes_route() {
+        let t = step_table(400);
+        let ds = CartDataset::regression(&t, "y", &["x", "k"]).unwrap();
+        let tree = Tree::fit(&ds, &CartParams::default()).unwrap();
+        let leaf = tree.leaves()[0].id;
+        let path = tree.path_to(leaf);
+        assert!(!path.is_empty());
+        assert!(tree.path_to(0).is_empty());
+    }
+
+    #[test]
+    fn fit_on_rows_uses_subset_only() {
+        let t = step_table(400);
+        let ds = CartDataset::regression(&t, "y", &["x", "k"]).unwrap();
+        let rows: Vec<usize> = (0..100).collect();
+        let tree = Tree::fit_on_rows(&ds, &CartParams::default(), &rows).unwrap();
+        assert_eq!(tree.root().n, 100);
+    }
+
+    #[test]
+    fn missing_feature_at_predict_errors() {
+        let t = step_table(100);
+        let ds = CartDataset::regression(&t, "y", &["x", "k"]).unwrap();
+        let tree = Tree::fit(&ds, &CartParams::default()).unwrap();
+        // Table with only "y".
+        let schema = Schema::new(vec![Field::new("y", FeatureKind::Continuous)]);
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec![Value::Continuous(0.0)]).unwrap();
+        let other = b.build();
+        assert!(matches!(tree.predict(&other), Err(CartError::MissingFeature { .. })));
+    }
+
+    #[test]
+    fn collapse_and_compact_keep_tree_valid() {
+        let t = step_table(400);
+        let ds = CartDataset::regression(&t, "y", &["x", "k"]).unwrap();
+        let mut tree = Tree::fit(&ds, &CartParams::default().with_cp(0.001)).unwrap();
+        let before_leaves = tree.leaf_count();
+        // Collapse the root's left child if it's internal, else right.
+        let root = tree.root().clone();
+        let target = [root.left, root.right]
+            .into_iter()
+            .flatten()
+            .find(|&c| !tree.nodes()[c].is_leaf());
+        if let Some(c) = target {
+            tree.collapse(c);
+            tree.compact();
+            assert!(tree.leaf_count() < before_leaves);
+            // Tree still predicts on the full table.
+            assert_eq!(tree.predict(&t).unwrap().len(), t.rows());
+            // ids are consistent after renumbering.
+            for (i, n) in tree.nodes().iter().enumerate() {
+                assert_eq!(n.id, i);
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Analysis-dataset assembly.
+//!
+//! Turns a [`SimulationOutput`] into the typed tables the framework
+//! consumes:
+//!
+//! * [`rack_day_table`] — one row per active (rack, day) with every
+//!   Table III candidate feature plus the day's failure count (the λ
+//!   response at rack/day granularity, the paper's default);
+//! * [`rack_table`] — one row per rack with static features, mean
+//!   environment, and a caller-supplied response (used by Q1 to cluster
+//!   racks by provisioning need).
+
+use std::collections::HashMap;
+
+use rainshine_dcsim::SimulationOutput;
+use rainshine_telemetry::ids::RackId;
+use rainshine_telemetry::rma::{FaultKind, HardwareFault, RmaTicket};
+use rainshine_telemetry::schema::analysis_schema;
+use rainshine_telemetry::table::{Table, TableBuilder, Value};
+use rainshine_telemetry::time::SimTime;
+
+use crate::{AnalysisError, Result};
+
+/// Which tickets count toward the response column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultFilter {
+    /// All validated true-positive tickets (hardware + software + boot +
+    /// other).
+    All,
+    /// All hardware tickets (the paper's Q1/Q2 population).
+    AllHardware,
+    /// One specific hardware component (Q1-B and Q3 use Disk / Memory).
+    Component(HardwareFault),
+    /// Hardware faults other than disk and memory (the population still
+    /// needing whole-server spares under component-level provisioning).
+    OtherHardware,
+}
+
+impl FaultFilter {
+    /// Whether a ticket matches the filter.
+    pub fn matches(&self, fault: FaultKind) -> bool {
+        match self {
+            FaultFilter::All => true,
+            FaultFilter::AllHardware => fault.is_hardware(),
+            FaultFilter::Component(c) => fault == FaultKind::Hardware(*c),
+            FaultFilter::OtherHardware => {
+                fault.is_hardware()
+                    && fault != FaultKind::Hardware(HardwareFault::Disk)
+                    && fault != FaultKind::Hardware(HardwareFault::Memory)
+            }
+        }
+    }
+}
+
+/// Counts matching true-positive tickets per (rack, day).
+pub fn ticket_counts_by_rack_day(
+    tickets: &[&RmaTicket],
+    filter: FaultFilter,
+) -> HashMap<(RackId, u64), u64> {
+    let mut counts = HashMap::new();
+    for t in tickets {
+        if filter.matches(t.fault) {
+            *counts.entry((t.location.rack, t.opened.days())).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Builds the rack-day analysis table.
+///
+/// One row per active (rack, day), stepping days by `day_stride` (use 1 for
+/// the full dataset; larger strides thin the table for faster tree fits —
+/// the response is still that single day's count, so rates are unbiased).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::InvalidParameter`] if `day_stride == 0` and
+/// [`AnalysisError::NoData`] if no rack-day is active in the span.
+pub fn rack_day_table(
+    output: &SimulationOutput,
+    filter: FaultFilter,
+    day_stride: usize,
+) -> Result<Table> {
+    if day_stride == 0 {
+        return Err(AnalysisError::InvalidParameter { name: "day_stride", value: 0.0 });
+    }
+    let tickets = output.true_positives();
+    let counts = ticket_counts_by_rack_day(&tickets, filter);
+    let mut builder = TableBuilder::new(analysis_schema());
+    let start_day = output.config.start.days();
+    let end_day = output.config.end.days();
+    let mut rows = 0usize;
+    for rack in &output.fleet.racks {
+        for day in (start_day..end_day).step_by(day_stride) {
+            let t = SimTime::from_days(day);
+            if !rack.is_active(t) {
+                continue;
+            }
+            let env = output.env.daily_mean(rack.dc, rack.region, day);
+            let count = counts.get(&(rack.id, day)).copied().unwrap_or(0) as f64;
+            builder.push_row(row_values(rack, t, env.temp_f, env.rh, count))?;
+            rows += 1;
+        }
+    }
+    if rows == 0 {
+        return Err(AnalysisError::NoData { what: "no active rack-days in span".into() });
+    }
+    Ok(builder.build())
+}
+
+fn row_values(
+    rack: &rainshine_dcsim::topology::RackInfo,
+    t: SimTime,
+    temp_f: f64,
+    rh: f64,
+    response: f64,
+) -> Vec<Value> {
+    vec![
+        Value::Nominal(rack.sku.to_string()),
+        Value::Continuous(rack.age_months(t)),
+        Value::Continuous(rack.power_kw),
+        Value::Nominal(rack.workload.to_string()),
+        Value::Continuous(temp_f),
+        Value::Continuous(rh),
+        Value::Nominal(rack.dc.to_string()),
+        Value::Nominal(format!("{}-{}", rack.dc, rack.region.0)),
+        Value::Nominal(format!("{}-row{}", rack.dc, rack.row.0)),
+        Value::Nominal(rack.id.to_string()),
+        Value::Ordinal(t.day_of_week().index() as i64),
+        Value::Ordinal(t.week_of_year() as i64),
+        Value::Ordinal(t.month() as i64),
+        Value::Ordinal(t.year_offset() as i64),
+        Value::Continuous(response),
+    ]
+}
+
+/// Builds a rack-level table: one row per rack carrying its static features,
+/// its mean environment over the active span, and the caller-supplied
+/// response (racks missing from `response` are skipped).
+///
+/// Time features are taken at the midpoint of the rack's active span (age)
+/// or zeroed (calendar ordinals are meaningless for a whole-span summary).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::NoData`] if no rack has a response.
+pub fn rack_table(
+    output: &SimulationOutput,
+    response: &HashMap<RackId, f64>,
+) -> Result<Table> {
+    let mut builder = TableBuilder::new(analysis_schema());
+    let start_day = output.config.start.days() as i64;
+    let end_day = output.config.end.days() as i64;
+    let mut rows = 0usize;
+    for rack in &output.fleet.racks {
+        let Some(&resp) = response.get(&rack.id) else {
+            continue;
+        };
+        let active_start = rack.commissioned_day.max(start_day);
+        if active_start >= end_day {
+            continue;
+        }
+        let mid_day = ((active_start + end_day) / 2) as u64;
+        let t = SimTime::from_days(mid_day);
+        // Mean environment over a monthly sample of the active span.
+        let mut temp = 0.0;
+        let mut rh = 0.0;
+        let mut n = 0.0;
+        let mut day = active_start as u64;
+        while (day as i64) < end_day {
+            let env = output.env.daily_mean(rack.dc, rack.region, day);
+            temp += env.temp_f;
+            rh += env.rh;
+            n += 1.0;
+            day += 30;
+        }
+        let (temp, rh) = if n > 0.0 { (temp / n, rh / n) } else { (65.0, 45.0) };
+        builder.push_row(row_values(rack, t, temp, rh, resp))?;
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err(AnalysisError::NoData { what: "no racks with responses".into() });
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainshine_telemetry::schema::columns;
+    use rainshine_dcsim::{FleetConfig, Simulation};
+
+    fn sim() -> SimulationOutput {
+        Simulation::new(FleetConfig::small(), 11).run()
+    }
+
+    #[test]
+    fn rack_day_table_has_schema_and_rows() {
+        let out = sim();
+        let t = rack_day_table(&out, FaultFilter::AllHardware, 1).unwrap();
+        assert_eq!(t.schema().len(), 15);
+        // Active rack-days <= racks × days.
+        let max_rows = out.fleet.racks.len() as u64 * out.config.span_days();
+        assert!(t.rows() as u64 <= max_rows);
+        assert!(t.rows() > 1000);
+        // Response is non-negative and non-trivial.
+        let y = t.continuous(columns::FAILURE_RATE).unwrap();
+        assert!(y.iter().all(|&v| v >= 0.0));
+        assert!(y.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn stride_thins_rows_proportionally() {
+        let out = sim();
+        let full = rack_day_table(&out, FaultFilter::AllHardware, 1).unwrap();
+        let thin = rack_day_table(&out, FaultFilter::AllHardware, 7).unwrap();
+        let ratio = full.rows() as f64 / thin.rows() as f64;
+        assert!((6.0..8.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn component_filter_counts_fewer() {
+        let out = sim();
+        let all = rack_day_table(&out, FaultFilter::AllHardware, 2).unwrap();
+        let disks = rack_day_table(&out, FaultFilter::Component(HardwareFault::Disk), 2).unwrap();
+        let sum = |t: &Table| t.continuous(columns::FAILURE_RATE).unwrap().iter().sum::<f64>();
+        assert!(sum(&disks) < sum(&all));
+        assert!(sum(&disks) > 0.0);
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        let out = sim();
+        assert!(matches!(
+            rack_day_table(&out, FaultFilter::All, 0),
+            Err(AnalysisError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn rack_table_one_row_per_responding_rack() {
+        let out = sim();
+        let mut resp = HashMap::new();
+        for (i, r) in out.fleet.racks.iter().enumerate() {
+            if i % 2 == 0 {
+                resp.insert(r.id, i as f64);
+            }
+        }
+        let t = rack_table(&out, &resp).unwrap();
+        assert_eq!(t.rows(), resp.len());
+        // Nominal features preserved.
+        assert!(t.categories(columns::SKU).unwrap().len() >= 2);
+        assert_eq!(t.categories(columns::DATACENTER).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rack_table_empty_response_errors() {
+        let out = sim();
+        assert!(matches!(
+            rack_table(&out, &HashMap::new()),
+            Err(AnalysisError::NoData { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_filter_matching() {
+        use rainshine_telemetry::rma::{BootFault, SoftwareFault};
+        let disk = FaultKind::Hardware(HardwareFault::Disk);
+        let mem = FaultKind::Hardware(HardwareFault::Memory);
+        let sw = FaultKind::Software(SoftwareFault::Timeout);
+        let boot = FaultKind::Boot(BootFault::Pxe);
+        assert!(FaultFilter::All.matches(sw));
+        assert!(FaultFilter::AllHardware.matches(disk));
+        assert!(!FaultFilter::AllHardware.matches(boot));
+        assert!(FaultFilter::Component(HardwareFault::Disk).matches(disk));
+        assert!(!FaultFilter::Component(HardwareFault::Disk).matches(mem));
+    }
+}

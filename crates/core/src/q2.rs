@@ -1,0 +1,336 @@
+//! Q2 — SKU reliability ranking (Figs. 14–15) and procurement TCO
+//! scenarios.
+//!
+//! The single-factor (SF) view histogramms raw failure rates per SKU; the
+//! multi-factor (MF) view normalizes away the other observed factors
+//! (`λ ~ SKU, N(DC), N(RatedPower), N(Workload), N(Age), N(Temperature)`)
+//! using the stratified partial-dependence machinery of
+//! [`rainshine_cart::pdp`]. In the simulator's ground truth S2's intrinsic
+//! hazard is exactly 4× S4's, but its placement (hot DC1 regions, W2
+//! workload) inflates the SF ratio far beyond that — the paper's
+//! cautionary tale.
+
+use std::collections::HashMap;
+
+use rainshine_cart::params::CartParams;
+use rainshine_cart::pdp::{stratified_effect_nominal, StratifiedEffect};
+use rainshine_dcsim::SimulationOutput;
+use rainshine_telemetry::ids::{RackId, Sku};
+use rainshine_telemetry::metrics::{self, SpatialGranularity};
+use rainshine_telemetry::schema::columns;
+use rainshine_telemetry::table::Table;
+use rainshine_telemetry::time::TimeGranularity;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::rack_table;
+use crate::tco::TcoModel;
+use crate::{AnalysisError, Result};
+
+/// Control features normalized away in the MF comparison (the paper's
+/// `N(DC), N(RatedPower), N(Workload), N(CommissionYear)` plus inlet
+/// temperature, which our ground truth also confounds with placement).
+pub const MF_CONTROLS: &[&str] = &[
+    columns::DATACENTER,
+    columns::REGION,
+    columns::RATED_POWER_KW,
+    columns::WORKLOAD,
+    columns::AGE_MONTHS,
+    columns::TEMPERATURE_F,
+];
+
+/// Single-factor reliability summary of one SKU (Fig. 14 bars).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkuReliability {
+    /// SKU label.
+    pub sku: String,
+    /// Mean rack-day failure rate.
+    pub avg_rate: f64,
+    /// Standard deviation of the rate across the SKU's racks.
+    pub avg_sd: f64,
+    /// Mean (across racks) of the per-rack worst-window μ.
+    pub peak_rate: f64,
+    /// Standard deviation of the per-rack peaks.
+    pub peak_sd: f64,
+    /// Racks of this SKU.
+    pub racks: usize,
+}
+
+/// Per-rack mean failure rate and per-rack peak μ for the SKU's racks.
+fn per_rack_stats(
+    output: &SimulationOutput,
+) -> (HashMap<RackId, f64>, HashMap<RackId, f64>) {
+    let tickets = output.hardware_tickets();
+    let lambda = metrics::lambda(
+        &tickets,
+        SpatialGranularity::Rack,
+        TimeGranularity::Daily,
+        output.config.start,
+        output.config.end,
+    );
+    let mu = metrics::mu(
+        &tickets,
+        SpatialGranularity::Rack,
+        TimeGranularity::Daily,
+        output.config.start,
+        output.config.end,
+    );
+    let mut means = HashMap::new();
+    let mut peaks = HashMap::new();
+    for rack in &output.fleet.racks {
+        let key = SpatialGranularity::Rack.key(&rack.server_location(0));
+        let active_days = (output.config.end.days() as i64
+            - rack.commissioned_day.max(output.config.start.days() as i64))
+        .max(0) as f64;
+        if active_days == 0.0 {
+            continue;
+        }
+        let mean =
+            lambda.get(&key).map(|s| s.total() as f64 / active_days).unwrap_or(0.0);
+        let peak = mu.get(&key).map(|s| s.max() as f64).unwrap_or(0.0);
+        means.insert(rack.id, mean);
+        peaks.insert(rack.id, peak);
+    }
+    (means, peaks)
+}
+
+/// Single-factor comparison (Fig. 14): raw per-SKU average and peak failure
+/// rates with across-rack standard deviations.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::NoData`] if none of `skus` has racks.
+pub fn sf_comparison(output: &SimulationOutput, skus: &[Sku]) -> Result<Vec<SkuReliability>> {
+    let (means, peaks) = per_rack_stats(output);
+    let mut out = Vec::new();
+    for &sku in skus {
+        let rack_ids: Vec<RackId> = output
+            .fleet
+            .racks
+            .iter()
+            .filter(|r| r.sku == sku && means.contains_key(&r.id))
+            .map(|r| r.id)
+            .collect();
+        if rack_ids.is_empty() {
+            continue;
+        }
+        let m: Vec<f64> = rack_ids.iter().map(|id| means[id]).collect();
+        let p: Vec<f64> = rack_ids.iter().map(|id| peaks[id]).collect();
+        let ms = rainshine_stats::describe::Summary::from_slice(&m)?;
+        let ps = rainshine_stats::describe::Summary::from_slice(&p)?;
+        out.push(SkuReliability {
+            sku: sku.to_string(),
+            avg_rate: ms.mean(),
+            avg_sd: ms.sample_stddev(),
+            peak_rate: ps.mean(),
+            peak_sd: ps.sample_stddev(),
+            racks: rack_ids.len(),
+        });
+    }
+    if out.is_empty() {
+        return Err(AnalysisError::NoData { what: "no racks for requested SKUs".into() });
+    }
+    Ok(out)
+}
+
+/// Multi-factor comparison (Fig. 15): stratified effects of SKU on the
+/// average rate (rack-day table) and on the per-rack peak (rack table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MfSkuComparison {
+    /// Effect on the mean failure rate (`relative` ≈ intrinsic multiplier).
+    pub avg: StratifiedEffect,
+    /// Effect on the per-rack peak μ.
+    pub peak: StratifiedEffect,
+}
+
+/// Runs the MF comparison on a prepared rack-day table (`table` must be a
+/// rack-day analysis table; pass `day_stride > 1` upstream for speed).
+///
+/// # Errors
+///
+/// Propagates table/tree errors.
+pub fn mf_comparison(
+    output: &SimulationOutput,
+    rack_day: &Table,
+    cart: &CartParams,
+) -> Result<MfSkuComparison> {
+    let avg = stratified_effect_nominal(
+        rack_day,
+        columns::FAILURE_RATE,
+        columns::SKU,
+        MF_CONTROLS,
+        cart,
+    )?;
+    let (_, peaks) = per_rack_stats(output);
+    let peak_table = rack_table(output, &peaks)?;
+    let peak = stratified_effect_nominal(
+        &peak_table,
+        columns::FAILURE_RATE,
+        columns::SKU,
+        MF_CONTROLS,
+        cart,
+    )?;
+    Ok(MfSkuComparison { avg, peak })
+}
+
+impl MfSkuComparison {
+    /// MF-estimated ratio of average failure rates between two SKUs:
+    /// the direct within-stratum contrast where the SKUs co-occur, falling
+    /// back to the ratio of fitted level effects.
+    pub fn avg_ratio(&self, a: &str, b: &str) -> Option<f64> {
+        if let Some(r) = self.avg.direct_ratio(a, b) {
+            return Some(r);
+        }
+        let get = |label: &str| {
+            self.avg.levels.iter().find(|l| l.level == label).map(|l| l.relative)
+        };
+        match (get(a), get(b)) {
+            (Some(x), Some(y)) if y > 0.0 => Some(x / y),
+            _ => None,
+        }
+    }
+}
+
+/// One procurement scenario of the paper's Q2 TCO analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcurementScenario {
+    /// Price of the reliable SKU relative to the baseline SKU.
+    pub price_ratio: f64,
+    /// TCO savings of buying the reliable SKU, per the SF estimate.
+    pub sf_savings: f64,
+    /// TCO savings per the MF estimate.
+    pub mf_savings: f64,
+}
+
+/// Evaluates the S4-vs-S2 procurement decision under SF and MF failure-rate
+/// estimates for each price ratio.
+///
+/// Both estimates anchor S4's failure rate at its raw value (S4 runs in a
+/// benign environment, so its raw rate ≈ its intrinsic rate); they differ
+/// in what they believe S2's rate would be — the raw 10×-ish ratio (SF) vs
+/// the de-confounded ~4× ratio (MF).
+pub fn procurement_scenarios(
+    sf: &[SkuReliability],
+    mf: &MfSkuComparison,
+    tco: &TcoModel,
+    price_ratios: &[f64],
+    span_days: f64,
+) -> Result<Vec<ProcurementScenario>> {
+    let find = |label: &str| sf.iter().find(|r| r.sku == label);
+    let (s2, s4) = match (find("S2"), find("S4")) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(AnalysisError::NoData { what: "need S2 and S4 in SF results".into() }),
+    };
+    // Failures per server over the horizon. Rates are per rack-day; divide
+    // by a nominal compute rack size.
+    let servers_per_rack = 43.0;
+    let s4_per_server = s4.avg_rate * span_days / servers_per_rack;
+    let sf_ratio = if s4.avg_rate > 0.0 { s2.avg_rate / s4.avg_rate } else { 1.0 };
+    let mf_ratio = mf.avg_ratio("S2", "S4").unwrap_or(sf_ratio);
+    // Spare fractions from peaks (per rack of ~43 servers).
+    let s4_spare = s4.peak_rate / servers_per_rack;
+    let sf_s2_spare = s2.peak_rate / servers_per_rack;
+    let mf_peak_ratio = {
+        let get = |label: &str| {
+            mf.peak.levels.iter().find(|l| l.level == label).map(|l| l.relative)
+        };
+        match (get("S2"), get("S4")) {
+            (Some(a), Some(b)) if b > 0.0 => a / b,
+            _ => sf_ratio,
+        }
+    };
+    let mf_s2_spare = (s4_spare * mf_peak_ratio).min(1.0);
+    let mut out = Vec::new();
+    for &ratio in price_ratios {
+        let s2_price = 100.0;
+        let s4_price = 100.0 * ratio;
+        let sf_tco_s2 = tco.sku_tco(s2_price, sf_s2_spare, s4_per_server * sf_ratio);
+        let mf_tco_s2 = tco.sku_tco(s2_price, mf_s2_spare, s4_per_server * mf_ratio);
+        let tco_s4 = tco.sku_tco(s4_price, s4_spare, s4_per_server);
+        out.push(ProcurementScenario {
+            price_ratio: ratio,
+            sf_savings: tco.sku_savings(tco_s4, sf_tco_s2),
+            mf_savings: tco.sku_savings(tco_s4, mf_tco_s2),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{rack_day_table, FaultFilter};
+    use rainshine_dcsim::{FleetConfig, Simulation};
+
+    fn sim() -> SimulationOutput {
+        Simulation::new(FleetConfig::medium(), 23).run()
+    }
+
+    #[test]
+    fn sf_sees_inflated_s2_s4_gap() {
+        let out = sim();
+        let rows = sf_comparison(&out, &[Sku::S1, Sku::S2, Sku::S3, Sku::S4]).unwrap();
+        let get = |l: &str| rows.iter().find(|r| r.sku == l).unwrap();
+        let ratio = get("S2").avg_rate / get("S4").avg_rate;
+        // Ground-truth intrinsic ratio is 4; confounding should inflate the
+        // raw ratio well beyond it.
+        assert!(ratio > 5.5, "raw SF ratio {ratio}");
+        assert!(get("S2").peak_rate >= get("S4").peak_rate);
+    }
+
+    #[test]
+    fn mf_recovers_intrinsic_ratio() {
+        let out = sim();
+        let table = rack_day_table(&out, FaultFilter::AllHardware, 3).unwrap();
+        let cart = CartParams::default().with_min_sizes(200, 100).with_cp(0.003);
+        let mf = mf_comparison(&out, &table, &cart).unwrap();
+        let ratio = mf.avg_ratio("S2", "S4").expect("both SKUs present");
+        assert!(
+            (2.8..5.5).contains(&ratio),
+            "MF ratio {ratio} should be near the intrinsic 4x"
+        );
+        // MF variance contraction vs SF (the paper's ~50% drop) is checked
+        // at paper scale in the integration tests.
+    }
+
+    #[test]
+    fn procurement_scenarios_flip_with_price() {
+        let out = sim();
+        let sf = sf_comparison(&out, &[Sku::S2, Sku::S4]).unwrap();
+        let table = rack_day_table(&out, FaultFilter::AllHardware, 3).unwrap();
+        let cart = CartParams::default().with_min_sizes(200, 100).with_cp(0.003);
+        let mf = mf_comparison(&out, &table, &cart).unwrap();
+        let scenarios = procurement_scenarios(
+            &sf,
+            &mf,
+            &TcoModel::default(),
+            &[1.0, 1.5],
+            out.config.span_days() as f64,
+        )
+        .unwrap();
+        assert_eq!(scenarios.len(), 2);
+        // Equal price: both approaches favour S4.
+        assert!(scenarios[0].sf_savings > 0.0);
+        assert!(scenarios[0].mf_savings > 0.0);
+        // SF always estimates larger savings than MF (it believes S2 is
+        // worse than it is).
+        for s in &scenarios {
+            assert!(s.sf_savings > s.mf_savings, "{s:?}");
+        }
+        // Premium price: savings shrink for both.
+        assert!(scenarios[1].sf_savings < scenarios[0].sf_savings);
+        assert!(scenarios[1].mf_savings < scenarios[0].mf_savings);
+    }
+
+    #[test]
+    fn missing_skus_error() {
+        let out = sim();
+        let sf = sf_comparison(&out, &[Sku::S1]).unwrap();
+        let table = rack_day_table(&out, FaultFilter::AllHardware, 10).unwrap();
+        let cart = CartParams::default();
+        let mf = mf_comparison(&out, &table, &cart).unwrap();
+        assert!(matches!(
+            procurement_scenarios(&sf, &mf, &TcoModel::default(), &[1.0], 365.0),
+            Err(AnalysisError::NoData { .. })
+        ));
+    }
+}

@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for simulator configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration field was out of its valid range.
+    InvalidConfig {
+        /// Field name.
+        field: &'static str,
+        /// Explanation of the constraint.
+        reason: &'static str,
+    },
+    /// An underlying statistics error.
+    Stats(rainshine_stats::StatsError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config `{field}`: {reason}")
+            }
+            SimError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rainshine_stats::StatsError> for SimError {
+    fn from(e: rainshine_stats::StatsError) -> Self {
+        SimError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::InvalidConfig { field: "span", reason: "end before start" };
+        assert!(e.to_string().contains("span"));
+        let e: SimError = rainshine_stats::StatsError::EmptyInput.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

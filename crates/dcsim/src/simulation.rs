@@ -1,0 +1,161 @@
+//! Top-level simulation driver.
+
+use rainshine_telemetry::ids::RackId;
+use rainshine_telemetry::rma::{self, RmaTicket};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::FleetConfig;
+use crate::cooling::InletConditions;
+use crate::environment::EnvModel;
+use crate::tickets;
+use crate::topology::Fleet;
+
+/// A configured simulation run. Construct with [`Simulation::new`], execute
+/// with [`Simulation::run`].
+///
+/// # Example
+///
+/// ```
+/// use rainshine_dcsim::{FleetConfig, Simulation};
+///
+/// let output = Simulation::new(FleetConfig::small(), 1).run();
+/// let hardware = output.hardware_tickets();
+/// assert!(!hardware.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: FleetConfig,
+    seed: u64,
+}
+
+impl Simulation {
+    /// Creates a simulation with the given configuration and seed.
+    pub fn new(config: FleetConfig, seed: u64) -> Self {
+        Simulation { config, seed }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs the simulation, producing the fleet, the environment model, and
+    /// the full RMA ticket stream (sorted by open time, false positives
+    /// included and flagged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; validate with
+    /// [`FleetConfig::validate`] first if the config is untrusted.
+    pub fn run(self) -> SimulationOutput {
+        self.config.validate().expect("invalid simulation config");
+        let fleet = Fleet::build(&self.config);
+        let env = EnvModel::paper_layout(self.seed);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut all = tickets::generate_hardware(&fleet, &self.config, &env, &mut rng);
+        all.extend(tickets::generate_bursts(&fleet, &self.config, &mut rng));
+        let non_hw = tickets::generate_non_hardware(&fleet, &self.config, &all, &mut rng);
+        all.extend(non_hw);
+        let fps = tickets::inject_false_positives(
+            &all,
+            self.config.false_positive_rate,
+            self.config.end,
+            &mut rng,
+        );
+        all.extend(fps);
+        all.sort_by_key(|t| (t.opened, t.location.rack, t.device));
+        SimulationOutput { config: self.config, seed: self.seed, fleet, env, tickets: all }
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone)]
+pub struct SimulationOutput {
+    /// The configuration that was run.
+    pub config: FleetConfig,
+    /// The seed that was used.
+    pub seed: u64,
+    /// The static fleet.
+    pub fleet: Fleet,
+    /// The environment model (queryable for any rack-hour).
+    pub env: EnvModel,
+    /// All RMA tickets, sorted by open time. Includes false positives.
+    pub tickets: Vec<RmaTicket>,
+}
+
+impl SimulationOutput {
+    /// Validated true-positive tickets — the population the paper analyzes.
+    pub fn true_positives(&self) -> Vec<&RmaTicket> {
+        rma::true_positives(&self.tickets)
+    }
+
+    /// True-positive *hardware* tickets — the population Q1–Q3 use.
+    pub fn hardware_tickets(&self) -> Vec<&RmaTicket> {
+        self.true_positives().into_iter().filter(|t| t.fault.is_hardware()).collect()
+    }
+
+    /// Looks up a rack.
+    pub fn rack(&self, id: RackId) -> Option<&crate::topology::RackInfo> {
+        self.fleet.rack(id)
+    }
+
+    /// Daily mean inlet conditions for a rack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rack id is unknown.
+    pub fn rack_daily_env(&self, rack: RackId, day: u64) -> InletConditions {
+        let info = self.fleet.rack(rack).unwrap_or_else(|| panic!("unknown {rack}"));
+        self.env.daily_mean(info.dc, info.region, day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rainshine_telemetry::ids::DcId;
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let a = Simulation::new(FleetConfig::small(), 99).run();
+        let b = Simulation::new(FleetConfig::small(), 99).run();
+        assert_eq!(a.tickets, b.tickets);
+        let c = Simulation::new(FleetConfig::small(), 100).run();
+        assert_ne!(a.tickets.len(), 0);
+        assert_ne!(a.tickets, c.tickets);
+    }
+
+    #[test]
+    fn tickets_sorted_and_mixed() {
+        let out = Simulation::new(FleetConfig::small(), 3).run();
+        assert!(out.tickets.windows(2).all(|w| w[0].opened <= w[1].opened));
+        let tp = out.true_positives();
+        let hw = out.hardware_tickets();
+        assert!(!hw.is_empty());
+        assert!(hw.len() < tp.len(), "software tickets exist");
+        let fp_count = out.tickets.len() - tp.len();
+        let fp_share = fp_count as f64 / out.tickets.len() as f64;
+        assert!((fp_share - 0.08).abs() < 0.02, "fp share {fp_share}");
+    }
+
+    #[test]
+    fn both_dcs_produce_tickets() {
+        let out = Simulation::new(FleetConfig::small(), 4).run();
+        for dc in [DcId(1), DcId(2)] {
+            assert!(
+                out.hardware_tickets().iter().any(|t| t.location.dc == dc),
+                "no hardware tickets in {dc}"
+            );
+        }
+    }
+
+    #[test]
+    fn rack_env_lookup_works() {
+        let out = Simulation::new(FleetConfig::small(), 5).run();
+        let rack = out.fleet.racks[0].id;
+        let env = out.rack_daily_env(rack, 10);
+        assert!((56.0..=90.0).contains(&env.temp_f));
+        assert!((5.0..=87.0).contains(&env.rh));
+    }
+}

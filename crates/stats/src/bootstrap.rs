@@ -1,0 +1,187 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! Used to attach uncertainty to the normalized failure-rate estimates in the
+//! SKU comparison (Q2) and environmental analysis (Q3), where the paper shows
+//! error bars.
+
+use rand::Rng;
+
+use crate::error::ensure_sample;
+use crate::{Result, StatsError};
+
+/// A two-sided confidence interval with its point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Statistic evaluated on the original sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lower..=self.upper).contains(&value)
+    }
+}
+
+/// Percentile bootstrap CI for an arbitrary statistic.
+///
+/// Resamples `data` with replacement `resamples` times, evaluates `statistic`
+/// on each resample, and reports the `(1−level)/2` and `(1+level)/2`
+/// percentiles of the bootstrap distribution.
+///
+/// # Errors
+///
+/// Returns an error for empty/non-finite data, `level` outside `(0, 1)`, or
+/// zero resamples.
+///
+/// # Example
+///
+/// ```
+/// use rainshine_stats::bootstrap::bootstrap_ci;
+/// use rainshine_stats::describe;
+/// use rand::SeedableRng;
+///
+/// let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let ci = bootstrap_ci(&data, 500, 0.95, &mut rng, |s| {
+///     describe::mean(s).expect("non-empty resample")
+/// })?;
+/// assert!(ci.contains(49.5));
+/// # Ok::<(), rainshine_stats::StatsError>(())
+/// ```
+pub fn bootstrap_ci<R, F>(
+    data: &[f64],
+    resamples: usize,
+    level: f64,
+    rng: &mut R,
+    statistic: F,
+) -> Result<ConfidenceInterval>
+where
+    R: Rng + ?Sized,
+    F: Fn(&[f64]) -> f64,
+{
+    ensure_sample(data)?;
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidProbability { value: level });
+    }
+    if resamples == 0 {
+        return Err(StatsError::DegenerateDimension { what: "zero bootstrap resamples" });
+    }
+    let estimate = statistic(data);
+    let n = data.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = data[rng.gen_range(0..n)];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistic produced NaN"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((alpha * resamples as f64).floor() as usize).min(resamples - 1);
+    let hi_idx = (((1.0 - alpha) * resamples as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(resamples - 1);
+    Ok(ConfidenceInterval { estimate, lower: stats[lo_idx], upper: stats[hi_idx], level })
+}
+
+/// Bootstrap standard error of a statistic (stddev of the bootstrap
+/// distribution).
+///
+/// # Errors
+///
+/// Same conditions as [`bootstrap_ci`].
+pub fn bootstrap_se<R, F>(
+    data: &[f64],
+    resamples: usize,
+    rng: &mut R,
+    statistic: F,
+) -> Result<f64>
+where
+    R: Rng + ?Sized,
+    F: Fn(&[f64]) -> f64,
+{
+    ensure_sample(data)?;
+    if resamples < 2 {
+        return Err(StatsError::DegenerateDimension { what: "need at least 2 resamples" });
+    }
+    let n = data.len();
+    let mut buf = vec![0.0; n];
+    let mut w = crate::running::Welford::new();
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = data[rng.gen_range(0..n)];
+        }
+        w.push(statistic(&buf));
+    }
+    Ok(w.summary().expect("resamples >= 2").sample_stddev())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ci_covers_true_mean() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        let ci = bootstrap_ci(&data, 1000, 0.95, &mut rng, |s| {
+            describe::mean(s).unwrap()
+        })
+        .unwrap();
+        assert!(ci.contains(4.5), "{ci:?}");
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+        assert!(ci.width() < 1.0);
+    }
+
+    #[test]
+    fn narrower_interval_for_lower_level() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let wide = bootstrap_ci(&data, 800, 0.99, &mut rng, |s| describe::mean(s).unwrap())
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let narrow = bootstrap_ci(&data, 800, 0.80, &mut rng, |s| describe::mean(s).unwrap())
+            .unwrap();
+        assert!(narrow.width() < wide.width());
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(bootstrap_ci(&[], 10, 0.95, &mut rng, |_| 0.0).is_err());
+        assert!(bootstrap_ci(&[1.0], 0, 0.95, &mut rng, |_| 0.0).is_err());
+        assert!(bootstrap_ci(&[1.0], 10, 1.5, &mut rng, |_| 0.0).is_err());
+    }
+
+    #[test]
+    fn se_positive_for_varied_data() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let se = bootstrap_se(&data, 500, &mut rng, |s| describe::mean(s).unwrap()).unwrap();
+        assert!(se > 0.0 && se < 5.0);
+    }
+
+    #[test]
+    fn se_zero_for_constant_data() {
+        let data = vec![2.0; 30];
+        let mut rng = StdRng::seed_from_u64(3);
+        let se = bootstrap_se(&data, 100, &mut rng, |s| describe::mean(s).unwrap()).unwrap();
+        assert_eq!(se, 0.0);
+    }
+}

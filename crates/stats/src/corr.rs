@@ -1,0 +1,127 @@
+//! Correlation measures for paired samples.
+
+use crate::describe::Summary;
+use crate::error::ensure_sample;
+use crate::{Result, StatsError};
+
+fn ensure_paired(x: &[f64], y: &[f64]) -> Result<()> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch { left: x.len(), right: y.len() });
+    }
+    ensure_sample(x)?;
+    ensure_sample(y)
+}
+
+/// Sample covariance (n−1 denominator) of paired samples.
+///
+/// # Errors
+///
+/// Returns an error for mismatched lengths, empty, or non-finite input.
+pub fn covariance(x: &[f64], y: &[f64]) -> Result<f64> {
+    ensure_paired(x, y)?;
+    let mx = Summary::from_slice(x)?.mean();
+    let my = Summary::from_slice(y)?.mean();
+    let n = x.len();
+    if n < 2 {
+        return Ok(0.0);
+    }
+    let s: f64 = x.iter().zip(y).map(|(&a, &b)| (a - mx) * (b - my)).sum();
+    Ok(s / (n - 1) as f64)
+}
+
+/// Pearson product-moment correlation coefficient.
+///
+/// Returns `0.0` if either sample has zero variance.
+///
+/// # Errors
+///
+/// Returns an error for mismatched lengths, empty, or non-finite input.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
+    ensure_paired(x, y)?;
+    let sx = Summary::from_slice(x)?;
+    let sy = Summary::from_slice(y)?;
+    let denom = sx.sample_stddev() * sy.sample_stddev();
+    if denom == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(covariance(x, y)? / denom)
+}
+
+/// Mid-ranks of a sample (ties receive their average rank, 1-based).
+pub fn ranks(data: &[f64]) -> Result<Vec<f64>> {
+    ensure_sample(data)?;
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("finite by validation"));
+    let mut out = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    Ok(out)
+}
+
+/// Spearman rank correlation coefficient (Pearson on mid-ranks, so ties are
+/// handled correctly).
+///
+/// # Errors
+///
+/// Returns an error for mismatched lengths, empty, or non-finite input.
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
+    ensure_paired(x, y)?;
+    pearson(&ranks(x)?, &ranks(y)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn covariance_hand_check() {
+        let c = covariance(&[1.0, 2.0, 3.0], &[4.0, 6.0, 8.0]).unwrap();
+        assert!((c - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]).unwrap();
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        // Pearson is below 1 for this convex relationship.
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(spearman(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Empirical cumulative distribution functions and quantiles.
+//!
+//! Spare provisioning in the paper (Q1, Figs. 1, 10–13) is driven entirely by
+//! CDFs of the concurrent-failure metric μ; this module is the foundation.
+
+use crate::error::ensure_sample;
+use crate::Result;
+
+/// An empirical CDF over a finite sample.
+///
+/// Stores the sorted sample; evaluation is `O(log n)`.
+///
+/// # Example
+///
+/// ```
+/// use rainshine_stats::ecdf::Ecdf;
+///
+/// let e = Ecdf::new(vec![1.0, 2.0, 2.0, 3.0])?;
+/// assert_eq!(e.eval(0.5), 0.0);
+/// assert_eq!(e.eval(2.0), 0.75);
+/// assert_eq!(e.eval(10.0), 1.0);
+/// # Ok::<(), rainshine_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample, taking ownership and sorting it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StatsError::EmptyInput`] for an empty sample and
+    /// [`crate::StatsError::NonFiniteInput`] for NaN/infinite values.
+    pub fn new(mut sample: Vec<f64>) -> Result<Self> {
+        ensure_sample(&sample)?;
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("finite by validation"));
+        Ok(Ecdf { sorted: sample })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample underlying this ECDF.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates `F(x) = P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile using the inverse-CDF (type 1) definition: the
+    /// smallest sample value `v` with `F(v) >= q`.
+    ///
+    /// `q` is clamped to `[0, 1]`; `quantile(0.0)` is the minimum and
+    /// `quantile(1.0)` the maximum.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len() as f64;
+        let rank = (q * n).ceil() as usize;
+        self.sorted[rank.saturating_sub(1).min(self.sorted.len() - 1)]
+    }
+
+    /// Convenience: the `p`-th percentile, `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.quantile(p / 100.0)
+    }
+
+    /// Minimum of the sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum of the sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Returns the step-function support points `(x_i, F(x_i))`, deduplicated
+    /// on x — ready for plotting a CDF curve like the paper's Fig. 11.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &v) in self.sorted.iter().enumerate() {
+            let f = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == v => last.1 = f,
+                _ => out.push((v, f)),
+            }
+        }
+        out
+    }
+}
+
+/// Interpolated quantile (R type-7, the R/NumPy default) of a sample.
+///
+/// Unlike [`Ecdf::quantile`] this interpolates between order statistics.
+///
+/// # Errors
+///
+/// Returns an error for empty or non-finite samples, or `q` outside `[0, 1]`.
+pub fn quantile_interpolated(data: &[f64], q: f64) -> Result<f64> {
+    ensure_sample(data)?;
+    if !(0.0..=1.0).contains(&q) {
+        return Err(crate::StatsError::InvalidProbability { value: q });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by validation"));
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let h = (n - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    Ok(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_monotone_and_bounded() {
+        let e = Ecdf::new(vec![5.0, 1.0, 3.0, 3.0, 9.0]).unwrap();
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let x = -2.0 + i as f64 * 0.15;
+            let f = e.eval(x);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert_eq!(e.eval(f64::MIN), 0.0);
+        assert_eq!(e.eval(9.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_eval_on_sample_points() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(e.quantile(0.25), 10.0);
+        assert_eq!(e.quantile(0.26), 20.0);
+        assert_eq!(e.quantile(0.75), 30.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+        assert_eq!(e.quantile(0.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_matches_quantile() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(e.percentile(95.0), e.quantile(0.95));
+    }
+
+    #[test]
+    fn steps_dedupe_ties() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 3.0]).unwrap();
+        let steps = e.steps();
+        assert_eq!(steps, vec![(1.0, 0.25), (2.0, 0.75), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn interpolated_quantile_median() {
+        let q = quantile_interpolated(&[1.0, 2.0, 3.0, 4.0], 0.5).unwrap();
+        assert_eq!(q, 2.5);
+        let q = quantile_interpolated(&[7.0], 0.99).unwrap();
+        assert_eq!(q, 7.0);
+    }
+
+    #[test]
+    fn interpolated_quantile_rejects_bad_q() {
+        assert!(quantile_interpolated(&[1.0], 1.5).is_err());
+        assert!(quantile_interpolated(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn clamps_out_of_range_quantiles() {
+        let e = Ecdf::new(vec![1.0, 2.0]).unwrap();
+        assert_eq!(e.quantile(-1.0), 1.0);
+        assert_eq!(e.quantile(2.0), 2.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Hypothesis tests: chi-square independence, two-sample Kolmogorov–Smirnov,
+//! and Welch's t-test.
+//!
+//! The multi-factor framework uses these to check that a factor's apparent
+//! influence on failure rates is statistically significant after
+//! normalization ("we quantify the confidence in the model", Section V-C).
+
+use crate::describe::Summary;
+use crate::error::ensure_sample;
+use crate::special::{chi_square_cdf, student_t_cdf};
+use crate::{Result, StatsError};
+
+/// Outcome of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic.
+    pub statistic: f64,
+    /// Two-sided (or test-appropriate) p-value.
+    pub p_value: f64,
+    /// Degrees of freedom where applicable; `0.0` for the KS test.
+    pub df: f64,
+}
+
+impl TestResult {
+    /// Whether the null hypothesis is rejected at significance `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Pearson chi-square test of independence on a contingency table.
+///
+/// `table[i][j]` is the observed count in row category `i`, column
+/// category `j`.
+///
+/// # Errors
+///
+/// Returns an error if the table is empty, ragged, smaller than 2×2, or has
+/// a zero row/column total.
+pub fn chi_square_independence(table: &[Vec<f64>]) -> Result<TestResult> {
+    if table.len() < 2 {
+        return Err(StatsError::DegenerateDimension { what: "need at least 2 rows" });
+    }
+    let cols = table[0].len();
+    if cols < 2 {
+        return Err(StatsError::DegenerateDimension { what: "need at least 2 columns" });
+    }
+    if table.iter().any(|r| r.len() != cols) {
+        return Err(StatsError::DegenerateDimension { what: "ragged contingency table" });
+    }
+    let row_totals: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
+    let col_totals: Vec<f64> =
+        (0..cols).map(|j| table.iter().map(|r| r[j]).sum()).collect();
+    let grand: f64 = row_totals.iter().sum();
+    if grand <= 0.0 || row_totals.iter().any(|&t| t <= 0.0) || col_totals.iter().any(|&t| t <= 0.0)
+    {
+        return Err(StatsError::DegenerateDimension { what: "zero marginal total" });
+    }
+    let mut stat = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        for (j, &obs) in row.iter().enumerate() {
+            if obs < 0.0 || !obs.is_finite() {
+                return Err(StatsError::InvalidParameter { name: "count", value: obs });
+            }
+            let expected = row_totals[i] * col_totals[j] / grand;
+            stat += (obs - expected).powi(2) / expected;
+        }
+    }
+    let df = ((table.len() - 1) * (cols - 1)) as f64;
+    let p_value = 1.0 - chi_square_cdf(stat, df);
+    Ok(TestResult { statistic: stat, p_value, df })
+}
+
+/// Two-sample Kolmogorov–Smirnov test.
+///
+/// Uses the asymptotic Kolmogorov distribution for the p-value, adequate for
+/// the sample sizes produced by the simulator (hundreds+).
+///
+/// # Errors
+///
+/// Returns an error for empty or non-finite samples.
+pub fn ks_two_sample(x: &[f64], y: &[f64]) -> Result<TestResult> {
+    ensure_sample(x)?;
+    ensure_sample(y)?;
+    let mut xs = x.to_vec();
+    let mut ys = y.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite by validation"));
+    ys.sort_by(|a, b| a.partial_cmp(b).expect("finite by validation"));
+    let (n, m) = (xs.len(), ys.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n && j < m {
+        let v = xs[i].min(ys[j]);
+        while i < n && xs[i] <= v {
+            i += 1;
+        }
+        while j < m && ys[j] <= v {
+            j += 1;
+        }
+        let fx = i as f64 / n as f64;
+        let fy = j as f64 / m as f64;
+        d = d.max((fx - fy).abs());
+    }
+    let en = ((n * m) as f64 / (n + m) as f64).sqrt();
+    let lambda = (en + 0.12 + 0.11 / en) * d;
+    let p_value = kolmogorov_q(lambda);
+    Ok(TestResult { statistic: d, p_value, df: 0.0 })
+}
+
+/// Kolmogorov distribution survival function `Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = sign * (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Welch's unequal-variance t-test (two-sided).
+///
+/// # Errors
+///
+/// Returns an error if either sample has fewer than 2 observations or
+/// contains non-finite values, or if both samples have zero variance.
+pub fn welch_t_test(x: &[f64], y: &[f64]) -> Result<TestResult> {
+    ensure_sample(x)?;
+    ensure_sample(y)?;
+    if x.len() < 2 || y.len() < 2 {
+        return Err(StatsError::DegenerateDimension { what: "welch test needs n >= 2 per group" });
+    }
+    let sx = Summary::from_slice(x)?;
+    let sy = Summary::from_slice(y)?;
+    let vx = sx.sample_variance() / x.len() as f64;
+    let vy = sy.sample_variance() / y.len() as f64;
+    let se2 = vx + vy;
+    if se2 == 0.0 {
+        return Err(StatsError::DegenerateDimension { what: "zero variance in both samples" });
+    }
+    let t = (sx.mean() - sy.mean()) / se2.sqrt();
+    // Welch–Satterthwaite df.
+    let df = se2 * se2
+        / (vx * vx / (x.len() as f64 - 1.0) + vy * vy / (y.len() as f64 - 1.0));
+    let p_value = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
+    Ok(TestResult { statistic: t, p_value, df })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn chi_square_independent_table_not_significant() {
+        // Perfectly proportional rows -> statistic 0.
+        let table = vec![vec![10.0, 20.0], vec![30.0, 60.0]];
+        let r = chi_square_independence(&table).unwrap();
+        assert!(r.statistic.abs() < 1e-9);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+        assert_eq!(r.df, 1.0);
+    }
+
+    #[test]
+    fn chi_square_dependent_table_significant() {
+        let table = vec![vec![50.0, 10.0], vec![10.0, 50.0]];
+        let r = chi_square_independence(&table).unwrap();
+        assert!(r.significant_at(0.001), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn chi_square_rejects_degenerate() {
+        assert!(chi_square_independence(&[vec![1.0, 2.0]]).is_err());
+        assert!(chi_square_independence(&[vec![1.0], vec![2.0]]).is_err());
+        assert!(chi_square_independence(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+        assert!(chi_square_independence(&[vec![0.0, 0.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn ks_same_distribution_high_p() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+        let y: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+        let r = ks_two_sample(&x, &y).unwrap();
+        assert!(r.p_value > 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn ks_shifted_distribution_low_p() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let x: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+        let y: Vec<f64> = (0..500).map(|_| rng.gen::<f64>() + 0.3).collect();
+        let r = ks_two_sample(&x, &y).unwrap();
+        assert!(r.significant_at(1e-6), "p = {}", r.p_value);
+        assert!(r.statistic > 0.2);
+    }
+
+    #[test]
+    fn welch_detects_mean_shift() {
+        let x: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| (i % 7) as f64 + 2.0).collect();
+        let r = welch_t_test(&x, &y).unwrap();
+        assert!(r.significant_at(1e-9), "p = {}", r.p_value);
+        assert!(r.statistic < 0.0);
+    }
+
+    #[test]
+    fn welch_no_shift_high_p() {
+        let x: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let y = x.clone();
+        let r = welch_t_test(&x, &y).unwrap();
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_rejects_tiny_or_constant() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).is_err());
+    }
+}

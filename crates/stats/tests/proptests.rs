@@ -1,0 +1,111 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use rainshine_stats::describe::Summary;
+use rainshine_stats::ecdf::{quantile_interpolated, Ecdf};
+use rainshine_stats::hist::Binner;
+use rainshine_stats::impurity::{gini, sum_squared_deviation};
+use rainshine_stats::running::Welford;
+use rainshine_stats::special::{chi_square_cdf, gamma_p, gamma_q, std_normal_cdf};
+
+fn finite_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn ecdf_is_monotone_and_bounded(data in finite_vec(), probe in -2e6f64..2e6) {
+        let e = Ecdf::new(data).unwrap();
+        let f = e.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Monotone: F(probe) <= F(probe + delta).
+        prop_assert!(f <= e.eval(probe + 1.0) + 1e-15);
+        // Support bounds.
+        prop_assert_eq!(e.eval(e.max()), 1.0);
+        prop_assert!(e.eval(e.min() - 1.0) == 0.0);
+    }
+
+    #[test]
+    fn ecdf_quantiles_are_ordered(data in finite_vec(), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let e = Ecdf::new(data).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(e.quantile(lo) <= e.quantile(hi));
+        // Quantiles are sample values.
+        prop_assert!(e.values().contains(&e.quantile(a)));
+    }
+
+    #[test]
+    fn interpolated_quantile_within_range(data in finite_vec(), q in 0.0f64..=1.0) {
+        let v = quantile_interpolated(&data, q).unwrap();
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_matches_concatenation(a in finite_vec(), b in finite_vec()) {
+        let mut wa: Welford = a.iter().copied().collect();
+        let wb: Welford = b.iter().copied().collect();
+        wa.merge(&wb);
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let batch = Summary::from_slice(&all).unwrap();
+        let merged = wa.summary().unwrap();
+        prop_assert!((merged.mean() - batch.mean()).abs() < 1e-6 * (1.0 + batch.mean().abs()));
+        prop_assert!(
+            (merged.sample_variance() - batch.sample_variance()).abs()
+                < 1e-5 * (1.0 + batch.sample_variance())
+        );
+    }
+
+    #[test]
+    fn binner_assigns_every_value_to_exactly_one_bin(
+        mut edges in prop::collection::vec(-1e3f64..1e3, 1..10),
+        value in -2e3f64..2e3,
+    ) {
+        edges.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        edges.dedup();
+        let binner = Binner::from_edges(edges).unwrap();
+        let bin = binner.bin_of(value);
+        prop_assert!(bin < binner.bin_count());
+        // Label rendering never panics for valid bins.
+        let _ = binner.label(bin);
+    }
+
+    #[test]
+    fn gini_bounds_hold(counts in prop::collection::vec(0.0f64..1e4, 1..10)) {
+        let g = gini(&counts);
+        let k = counts.iter().filter(|&&c| c > 0.0).count().max(1);
+        prop_assert!(g >= -1e-12);
+        prop_assert!(g <= 1.0 - 1.0 / k as f64 + 1e-12);
+    }
+
+    #[test]
+    fn ssd_is_translation_invariant(data in finite_vec(), shift in -1e3f64..1e3) {
+        let shifted: Vec<f64> = data.iter().map(|v| v + shift).collect();
+        let a = sum_squared_deviation(&data);
+        let b = sum_squared_deviation(&shifted);
+        prop_assert!((a - b).abs() < 1e-4 * (1.0 + a));
+    }
+
+    #[test]
+    fn gamma_p_q_complementary(a in 0.1f64..50.0, x in 0.0f64..100.0) {
+        let sum = gamma_p(a, x) + gamma_q(a, x);
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&gamma_p(a, x)));
+    }
+
+    #[test]
+    fn cdfs_are_monotone(x in -10.0f64..10.0, dx in 0.0f64..5.0, df in 1.0f64..30.0) {
+        prop_assert!(std_normal_cdf(x) <= std_normal_cdf(x + dx) + 1e-12);
+        let cx = x.abs();
+        prop_assert!(chi_square_cdf(cx, df) <= chi_square_cdf(cx + dx, df) + 1e-12);
+    }
+
+    #[test]
+    fn summary_mean_between_min_and_max(data in finite_vec()) {
+        let s = Summary::from_slice(&data).unwrap();
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.sample_variance() >= 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for telemetry data-model operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryError {
+    /// A column name was not found in a table.
+    UnknownColumn {
+        /// The requested column name.
+        name: String,
+    },
+    /// A column was accessed with the wrong feature kind.
+    KindMismatch {
+        /// Column name.
+        name: String,
+        /// The kind that was requested.
+        requested: &'static str,
+        /// The column's actual kind.
+        actual: &'static str,
+    },
+    /// A row had the wrong number of values for the schema.
+    RowArity {
+        /// Expected number of columns.
+        expected: usize,
+        /// Provided number of values.
+        got: usize,
+    },
+    /// A row value's type did not match its column's kind.
+    ValueKind {
+        /// Column index of the offending value.
+        column: usize,
+    },
+    /// A ticket interval was inverted (resolved before opened).
+    InvertedInterval,
+    /// An operation needed a non-empty input.
+    Empty {
+        /// What was empty.
+        what: &'static str,
+    },
+    /// An underlying statistics error.
+    Stats(rainshine_stats::StatsError),
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
+            TelemetryError::KindMismatch { name, requested, actual } => {
+                write!(f, "column `{name}` is {actual}, not {requested}")
+            }
+            TelemetryError::RowArity { expected, got } => {
+                write!(f, "row has {got} values, schema has {expected} columns")
+            }
+            TelemetryError::ValueKind { column } => {
+                write!(f, "value kind mismatch at column {column}")
+            }
+            TelemetryError::InvertedInterval => {
+                write!(f, "ticket resolved before it was opened")
+            }
+            TelemetryError::Empty { what } => write!(f, "empty input: {what}"),
+            TelemetryError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for TelemetryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TelemetryError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rainshine_stats::StatsError> for TelemetryError {
+    fn from(e: rainshine_stats::StatsError) -> Self {
+        TelemetryError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TelemetryError::UnknownColumn { name: "temp".into() };
+        assert!(e.to_string().contains("temp"));
+        let e = TelemetryError::KindMismatch {
+            name: "sku".into(),
+            requested: "continuous",
+            actual: "nominal",
+        };
+        assert!(e.to_string().contains("nominal"));
+    }
+
+    #[test]
+    fn stats_error_converts() {
+        let e: TelemetryError = rainshine_stats::StatsError::EmptyInput.into();
+        assert!(matches!(e, TelemetryError::Stats(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,550 @@
+//! A typed columnar table.
+//!
+//! CART (and the analysis framework generally) consumes datasets whose
+//! columns are **continuous**, **nominal** (categorical without order, e.g.
+//! SKU or DC), or **ordinal** (categorical with order, e.g. day-of-week) —
+//! exactly the three feature types of the paper's Table III. [`Table`]
+//! stores each column natively (f64 / interned category codes / i64) and
+//! offers the row-subset and group-by operations tree building needs.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, TelemetryError};
+
+/// The type of a feature column (Table III's C / N / O).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum FeatureKind {
+    /// Real-valued (temperature, age, rated power).
+    Continuous,
+    /// Categorical without implicit order (SKU, workload, DC, rack).
+    Nominal,
+    /// Categorical with order (day, week, month, year).
+    Ordinal,
+}
+
+impl FeatureKind {
+    fn name(&self) -> &'static str {
+        match self {
+            FeatureKind::Continuous => "continuous",
+            FeatureKind::Nominal => "nominal",
+            FeatureKind::Ordinal => "ordinal",
+        }
+    }
+}
+
+impl fmt::Display for FeatureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, typed column declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Column type.
+    pub kind: FeatureKind,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, kind: FeatureKind) -> Self {
+        Field { name: name.into(), kind }
+    }
+}
+
+/// An ordered set of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two fields share a name.
+    pub fn new(fields: Vec<Field>) -> Self {
+        for (i, f) in fields.iter().enumerate() {
+            assert!(
+                !fields[..i].iter().any(|g| g.name == f.name),
+                "duplicate field name `{}`",
+                f.name
+            );
+        }
+        Schema { fields }
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+}
+
+/// A single cell value, used when assembling rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A continuous observation.
+    Continuous(f64),
+    /// A nominal category label (interned on insert).
+    Nominal(String),
+    /// An ordinal level.
+    Ordinal(i64),
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Continuous(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Nominal(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Nominal(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Ordinal(v)
+    }
+}
+
+/// Column storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum ColumnData {
+    Continuous(Vec<f64>),
+    Nominal { codes: Vec<u32>, categories: Vec<String> },
+    Ordinal(Vec<i64>),
+}
+
+/// Builds a [`Table`] row by row.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<ColumnData>,
+    interners: Vec<Option<HashMap<String, u32>>>,
+    rows: usize,
+}
+
+impl TableBuilder {
+    /// Creates a builder for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| match f.kind {
+                FeatureKind::Continuous => ColumnData::Continuous(Vec::new()),
+                FeatureKind::Nominal => {
+                    ColumnData::Nominal { codes: Vec::new(), categories: Vec::new() }
+                }
+                FeatureKind::Ordinal => ColumnData::Ordinal(Vec::new()),
+            })
+            .collect();
+        let interners = schema
+            .fields()
+            .iter()
+            .map(|f| (f.kind == FeatureKind::Nominal).then(HashMap::new))
+            .collect();
+        TableBuilder { schema, columns, interners, rows: 0 }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::RowArity`] for a wrong-length row and
+    /// [`TelemetryError::ValueKind`] if a value does not match its column's
+    /// kind.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<&mut Self> {
+        if row.len() != self.schema.len() {
+            return Err(TelemetryError::RowArity { expected: self.schema.len(), got: row.len() });
+        }
+        // Validate before mutating so a failed push leaves the builder intact.
+        for (i, v) in row.iter().enumerate() {
+            let ok = matches!(
+                (&self.columns[i], v),
+                (ColumnData::Continuous(_), Value::Continuous(_))
+                    | (ColumnData::Nominal { .. }, Value::Nominal(_))
+                    | (ColumnData::Ordinal(_), Value::Ordinal(_))
+            );
+            if !ok {
+                return Err(TelemetryError::ValueKind { column: i });
+            }
+        }
+        for (i, v) in row.into_iter().enumerate() {
+            match (&mut self.columns[i], v) {
+                (ColumnData::Continuous(data), Value::Continuous(x)) => data.push(x),
+                (ColumnData::Ordinal(data), Value::Ordinal(x)) => data.push(x),
+                (ColumnData::Nominal { codes, categories }, Value::Nominal(label)) => {
+                    let interner =
+                        self.interners[i].as_mut().expect("nominal column has interner");
+                    let code = *interner.entry(label.clone()).or_insert_with(|| {
+                        categories.push(label);
+                        (categories.len() - 1) as u32
+                    });
+                    codes.push(code);
+                }
+                _ => unreachable!("validated above"),
+            }
+        }
+        self.rows += 1;
+        Ok(self)
+    }
+
+    /// Finalizes the table.
+    pub fn build(self) -> Table {
+        Table { schema: self.schema, columns: self.columns, rows: self.rows }
+    }
+}
+
+/// An immutable typed columnar table.
+///
+/// # Example
+///
+/// ```
+/// use rainshine_telemetry::table::{Field, FeatureKind, Schema, TableBuilder, Value};
+///
+/// let schema = Schema::new(vec![
+///     Field::new("temp", FeatureKind::Continuous),
+///     Field::new("sku", FeatureKind::Nominal),
+/// ]);
+/// let mut b = TableBuilder::new(schema);
+/// b.push_row(vec![Value::Continuous(72.0), Value::Nominal("S1".into())])?;
+/// b.push_row(vec![Value::Continuous(80.5), Value::Nominal("S2".into())])?;
+/// let table = b.build();
+/// assert_eq!(table.rows(), 2);
+/// assert_eq!(table.continuous("temp")?[1], 80.5);
+/// # Ok::<(), rainshine_telemetry::TelemetryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<ColumnData>,
+    rows: usize,
+}
+
+impl Table {
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    fn column(&self, name: &str) -> Result<(usize, &ColumnData)> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| TelemetryError::UnknownColumn { name: name.to_owned() })?;
+        Ok((idx, &self.columns[idx]))
+    }
+
+    /// The values of a continuous column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not continuous.
+    pub fn continuous(&self, name: &str) -> Result<&[f64]> {
+        match self.column(name)? {
+            (_, ColumnData::Continuous(data)) => Ok(data),
+            (_, other) => Err(self.kind_mismatch(name, "continuous", other)),
+        }
+    }
+
+    /// The codes of a nominal column (indices into [`Table::categories`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not nominal.
+    pub fn nominal_codes(&self, name: &str) -> Result<&[u32]> {
+        match self.column(name)? {
+            (_, ColumnData::Nominal { codes, .. }) => Ok(codes),
+            (_, other) => Err(self.kind_mismatch(name, "nominal", other)),
+        }
+    }
+
+    /// The category labels of a nominal column, indexed by code.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not nominal.
+    pub fn categories(&self, name: &str) -> Result<&[String]> {
+        match self.column(name)? {
+            (_, ColumnData::Nominal { categories, .. }) => Ok(categories),
+            (_, other) => Err(self.kind_mismatch(name, "nominal", other)),
+        }
+    }
+
+    /// The values of an ordinal column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not ordinal.
+    pub fn ordinal(&self, name: &str) -> Result<&[i64]> {
+        match self.column(name)? {
+            (_, ColumnData::Ordinal(data)) => Ok(data),
+            (_, other) => Err(self.kind_mismatch(name, "ordinal", other)),
+        }
+    }
+
+    /// A column's values coerced to `f64`, regardless of kind. Nominal
+    /// columns yield their codes — useful for generic iteration, **not** for
+    /// arithmetic on nominal features.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing.
+    pub fn as_f64(&self, name: &str) -> Result<Vec<f64>> {
+        Ok(match self.column(name)? {
+            (_, ColumnData::Continuous(data)) => data.clone(),
+            (_, ColumnData::Nominal { codes, .. }) => codes.iter().map(|&c| c as f64).collect(),
+            (_, ColumnData::Ordinal(data)) => data.iter().map(|&v| v as f64).collect(),
+        })
+    }
+
+    fn kind_mismatch(
+        &self,
+        name: &str,
+        requested: &'static str,
+        actual: &ColumnData,
+    ) -> TelemetryError {
+        let actual = match actual {
+            ColumnData::Continuous(_) => "continuous",
+            ColumnData::Nominal { .. } => "nominal",
+            ColumnData::Ordinal(_) => "ordinal",
+        };
+        TelemetryError::KindMismatch { name: name.to_owned(), requested, actual }
+    }
+
+    /// Row indices satisfying `predicate` on a continuous column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not continuous.
+    pub fn filter_continuous<F: Fn(f64) -> bool>(
+        &self,
+        name: &str,
+        predicate: F,
+    ) -> Result<Vec<usize>> {
+        Ok(self
+            .continuous(name)?
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| predicate(v).then_some(i))
+            .collect())
+    }
+
+    /// Row indices whose nominal column equals `label`.
+    ///
+    /// Returns an empty vector if the label never occurs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not nominal.
+    pub fn filter_nominal(&self, name: &str, label: &str) -> Result<Vec<usize>> {
+        let cats = self.categories(name)?;
+        let Some(code) = cats.iter().position(|c| c == label) else {
+            return Ok(Vec::new());
+        };
+        let code = code as u32;
+        Ok(self
+            .nominal_codes(name)?
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| (c == code).then_some(i))
+            .collect())
+    }
+
+    /// Groups row indices by the code of a nominal column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not nominal.
+    pub fn group_by_nominal(&self, name: &str) -> Result<BTreeMap<u32, Vec<usize>>> {
+        let codes = self.nominal_codes(name)?;
+        let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (i, &c) in codes.iter().enumerate() {
+            groups.entry(c).or_default().push(i);
+        }
+        Ok(groups)
+    }
+
+    /// Materializes a new table containing only `rows` (in the given order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, rows: &[usize]) -> Table {
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| match col {
+                ColumnData::Continuous(data) => {
+                    ColumnData::Continuous(rows.iter().map(|&r| data[r]).collect())
+                }
+                ColumnData::Ordinal(data) => {
+                    ColumnData::Ordinal(rows.iter().map(|&r| data[r]).collect())
+                }
+                ColumnData::Nominal { codes, categories } => ColumnData::Nominal {
+                    codes: rows.iter().map(|&r| codes[r]).collect(),
+                    categories: categories.clone(),
+                },
+            })
+            .collect();
+        Table { schema: self.schema.clone(), columns, rows: rows.len() }
+    }
+
+    /// The nominal label of `row` in column `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not nominal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn nominal_label(&self, name: &str, row: usize) -> Result<&str> {
+        let codes = self.nominal_codes(name)?;
+        let cats = self.categories(name)?;
+        Ok(&cats[codes[row] as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("x", FeatureKind::Continuous),
+            Field::new("k", FeatureKind::Nominal),
+            Field::new("o", FeatureKind::Ordinal),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for (x, k, o) in [(1.0, "a", 0i64), (2.0, "b", 1), (3.0, "a", 2), (4.0, "c", 0)] {
+            b.push_row(vec![x.into(), k.into(), o.into()]).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builds_and_reads_columns() {
+        let t = sample_table();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.continuous("x").unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.ordinal("o").unwrap(), &[0, 1, 2, 0]);
+        assert_eq!(t.categories("k").unwrap(), &["a", "b", "c"]);
+        assert_eq!(t.nominal_codes("k").unwrap(), &[0, 1, 0, 2]);
+        assert_eq!(t.nominal_label("k", 3).unwrap(), "c");
+    }
+
+    #[test]
+    fn interning_reuses_codes() {
+        let t = sample_table();
+        // "a" appears twice with the same code.
+        let codes = t.nominal_codes("k").unwrap();
+        assert_eq!(codes[0], codes[2]);
+    }
+
+    #[test]
+    fn kind_mismatch_errors() {
+        let t = sample_table();
+        assert!(matches!(t.continuous("k"), Err(TelemetryError::KindMismatch { .. })));
+        assert!(matches!(t.nominal_codes("x"), Err(TelemetryError::KindMismatch { .. })));
+        assert!(matches!(t.ordinal("k"), Err(TelemetryError::KindMismatch { .. })));
+        assert!(matches!(t.continuous("nope"), Err(TelemetryError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn push_row_validates_arity_and_kind() {
+        let schema = Schema::new(vec![Field::new("x", FeatureKind::Continuous)]);
+        let mut b = TableBuilder::new(schema);
+        assert!(matches!(
+            b.push_row(vec![]),
+            Err(TelemetryError::RowArity { expected: 1, got: 0 })
+        ));
+        assert!(matches!(
+            b.push_row(vec![Value::Nominal("a".into())]),
+            Err(TelemetryError::ValueKind { column: 0 })
+        ));
+        // Failed pushes leave the builder usable.
+        b.push_row(vec![Value::Continuous(1.0)]).unwrap();
+        assert_eq!(b.build().rows(), 1);
+    }
+
+    #[test]
+    fn filter_and_group() {
+        let t = sample_table();
+        assert_eq!(t.filter_continuous("x", |v| v > 2.5).unwrap(), vec![2, 3]);
+        assert_eq!(t.filter_nominal("k", "a").unwrap(), vec![0, 2]);
+        assert_eq!(t.filter_nominal("k", "zzz").unwrap(), Vec::<usize>::new());
+        let groups = t.group_by_nominal("k").unwrap();
+        assert_eq!(groups[&0], vec![0, 2]);
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn subset_preserves_categories() {
+        let t = sample_table();
+        let s = t.subset(&[3, 0]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.continuous("x").unwrap(), &[4.0, 1.0]);
+        assert_eq!(s.nominal_label("k", 0).unwrap(), "c");
+        assert_eq!(s.categories("k").unwrap(), t.categories("k").unwrap());
+    }
+
+    #[test]
+    fn as_f64_coerces_all_kinds() {
+        let t = sample_table();
+        assert_eq!(t.as_f64("x").unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.as_f64("k").unwrap(), vec![0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(t.as_f64("o").unwrap(), vec![0.0, 1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field name")]
+    fn schema_rejects_duplicates() {
+        Schema::new(vec![
+            Field::new("x", FeatureKind::Continuous),
+            Field::new("x", FeatureKind::Nominal),
+        ]);
+    }
+}

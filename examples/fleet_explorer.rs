@@ -1,0 +1,89 @@
+//! Fleet explorer: poke at the simulated fleet and its telemetry directly —
+//! topology, environment time series, failure metrics at several spatial
+//! and temporal granularities.
+//!
+//! ```text
+//! cargo run --release --example fleet_explorer
+//! ```
+
+use rainshine::dcsim::{FleetConfig, Simulation};
+use rainshine::telemetry::ids::DcId;
+use rainshine::telemetry::metrics::{self, SpatialGranularity};
+use rainshine::telemetry::time::{SimTime, TimeGranularity};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let output = Simulation::new(FleetConfig::medium(), 3).run();
+
+    // Topology.
+    println!("datacenters:");
+    for dc in &output.fleet.datacenters {
+        let racks = output.fleet.racks_in(dc.id).count();
+        let servers: u64 =
+            output.fleet.racks_in(dc.id).map(|r| r.servers as u64).sum();
+        println!(
+            "  {}: {} ({} nines, {}) — {racks} racks, {servers} servers",
+            dc.id,
+            dc.packaging,
+            dc.availability_nines,
+            dc.cooling.name()
+        );
+    }
+
+    // A midsummer day's environment in both DCs.
+    let july_noon = SimTime::from_date(2012, 7, 15, 15);
+    println!("\nenvironment on {july_noon}:");
+    for rack in [output.fleet.racks_in(DcId(1)).next(), output.fleet.racks_in(DcId(2)).next()]
+        .into_iter()
+        .flatten()
+    {
+        let env = output.env.sample(rack.dc, rack.region, july_noon);
+        println!(
+            "  {} {} rack {}: inlet {:.1} F, RH {:.0}%",
+            rack.dc, rack.region, rack.id, env.temp_f, env.rh
+        );
+    }
+
+    // Failure metrics: λ per DC per month, and the worst rack by peak μ.
+    let hardware = output.hardware_tickets();
+    let monthly = metrics::lambda(
+        &hardware,
+        SpatialGranularity::Datacenter,
+        TimeGranularity::Monthly,
+        output.config.start,
+        output.config.end,
+    );
+    println!("\nhardware failures per month:");
+    for (key, series) in &monthly {
+        let per_month: Vec<u64> = (0..series.windows)
+            .map(|w| series.nonzero.get(&w).copied().unwrap_or(0))
+            .collect();
+        println!("  DC{}: {per_month:?}", key.dc);
+    }
+
+    let per_rack_mu = metrics::mu(
+        &hardware,
+        SpatialGranularity::Rack,
+        TimeGranularity::Daily,
+        output.config.start,
+        output.config.end,
+    );
+    let worst = per_rack_mu
+        .iter()
+        .max_by_key(|(_, s)| s.max())
+        .expect("fleet has tickets");
+    let rack = output
+        .fleet
+        .rack(rainshine::telemetry::ids::RackId(worst.0.rack))
+        .expect("rack exists");
+    println!(
+        "\nworst rack by concurrent failures: {} ({} {} {}, {} servers) — \
+         {} devices down in its worst day",
+        rack.id,
+        rack.dc,
+        rack.sku,
+        rack.workload,
+        rack.servers,
+        worst.1.max()
+    );
+    Ok(())
+}

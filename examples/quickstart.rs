@@ -1,0 +1,57 @@
+//! Quickstart: simulate a small fleet, look at its failure data, and fit a
+//! CART model to explain rack-day failure rates.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rainshine::analysis::dataset::{rack_day_table, FaultFilter};
+use rainshine::cart::dataset::CartDataset;
+use rainshine::cart::params::CartParams;
+use rainshine::cart::tree::Tree;
+use rainshine::dcsim::{FleetConfig, Simulation};
+use rainshine::telemetry::rma::category_breakdown;
+use rainshine::telemetry::schema::columns;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Simulate six months of a small two-DC fleet, deterministically.
+    let output = Simulation::new(FleetConfig::small(), 7).run();
+    println!(
+        "fleet: {} racks / {} servers; tickets: {}",
+        output.fleet.racks.len(),
+        output.fleet.total_servers(),
+        output.tickets.len()
+    );
+
+    // 2. The ticket mix (the paper's Table II shape).
+    let tp = output.true_positives();
+    println!("\nticket mix (true positives):");
+    for (fault, count, pct) in category_breakdown(&tp).into_iter().take(6) {
+        println!("  {fault:<22} {count:>6}  {pct:5.2}%");
+    }
+
+    // 3. Build the rack-day analysis table (Table III features + λ).
+    let table = rack_day_table(&output, FaultFilter::AllHardware, 1)?;
+    println!("\nanalysis table: {} rows × {} columns", table.rows(), table.schema().len());
+
+    // 4. Fit a regression tree on hardware failure rate and rank factors.
+    let ds = CartDataset::regression(
+        &table,
+        columns::FAILURE_RATE,
+        &[
+            columns::SKU,
+            columns::WORKLOAD,
+            columns::DATACENTER,
+            columns::AGE_MONTHS,
+            columns::TEMPERATURE_F,
+            columns::RATED_POWER_KW,
+        ],
+    )?;
+    let tree = Tree::fit(&ds, &CartParams::default().with_min_sizes(200, 100))?;
+    println!("\nCART: {} leaves, depth {}", tree.leaf_count(), tree.depth());
+    println!("variable importance:");
+    for (name, score) in tree.variable_importance().into_iter().take(6) {
+        println!("  {name:<16} {score:5.1}");
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Q1 walkthrough: how many spare servers does a workload need?
+//!
+//! Compares the paper's three approaches (lower bound, single-factor,
+//! multi-factor) for a compute and a storage workload, at daily and hourly
+//! provisioning granularity, and prices the difference with the TCO model
+//! (the paper's Figs. 10–12 and Table IV).
+//!
+//! ```text
+//! cargo run --release --example spare_provisioning
+//! ```
+
+use rainshine::analysis::q1::{provision_servers, tco_savings, ProvisionParams};
+use rainshine::analysis::tco::TcoModel;
+use rainshine::dcsim::{FleetConfig, Simulation};
+use rainshine::telemetry::ids::Workload;
+use rainshine::telemetry::time::TimeGranularity;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let output = Simulation::new(FleetConfig::medium(), 11).run();
+    let tco = TcoModel::default();
+
+    for workload in [Workload::W1, Workload::W6] {
+        println!("=== workload {workload} ===");
+        for granularity in [TimeGranularity::Daily, TimeGranularity::Hourly] {
+            for sla in [0.90, 0.95, 1.00] {
+                let params = ProvisionParams::new(sla, granularity);
+                let r = provision_servers(&output, workload, &params)?;
+                println!(
+                    "  {:?} SLA {:>5.1}%: LB {:5.2}%  MF {:5.2}%  SF {:5.2}%  \
+                     (TCO savings MF vs SF: {:4.1}%)",
+                    granularity,
+                    sla * 100.0,
+                    r.lb.overprovision_pct,
+                    r.mf.overprovision_pct,
+                    r.sf.overprovision_pct,
+                    100.0 * tco_savings(&r, &tco),
+                );
+            }
+        }
+        // Show what the MF clusters look like at the strictest setting.
+        let r = provision_servers(
+            &output,
+            workload,
+            &ProvisionParams::new(1.0, TimeGranularity::Daily),
+        )?;
+        println!("  clusters at 100% SLA (daily):");
+        for c in &r.clusters {
+            println!(
+                "    #{}: {} racks, {:.1}% spares — {}",
+                c.id,
+                c.racks.len(),
+                100.0 * c.spare_fraction,
+                if c.path.is_empty() { "(whole population)".into() } else { c.path.join(" & ") }
+            );
+        }
+        println!(
+            "  top factors: {}",
+            r.importance
+                .iter()
+                .take(3)
+                .map(|(n, s)| format!("{n} ({s:.0})"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! End-to-end pipeline tests: simulate → assemble datasets → run all three
+//! of the paper's decision analyses, asserting the structural invariants
+//! every run must satisfy (regardless of seed).
+
+use std::sync::OnceLock;
+
+use rainshine::analysis::dataset::{rack_day_table, FaultFilter};
+use rainshine::analysis::q1::{provision_components, provision_servers, ProvisionParams};
+use rainshine::analysis::q2::{mf_comparison, sf_comparison};
+use rainshine::analysis::q3::{dc_subset, env_analysis};
+use rainshine::analysis::tco::TcoModel;
+use rainshine::cart::params::CartParams;
+use rainshine::dcsim::{FleetConfig, Simulation, SimulationOutput};
+use rainshine::telemetry::ids::{Sku, Workload};
+use rainshine::telemetry::rma::HardwareFault;
+use rainshine::telemetry::time::TimeGranularity;
+
+fn sim() -> &'static SimulationOutput {
+    static SIM: OnceLock<SimulationOutput> = OnceLock::new();
+    SIM.get_or_init(|| Simulation::new(FleetConfig::medium(), 2024).run())
+}
+
+#[test]
+fn q1_lb_mf_sf_ordering_holds_for_all_settings() {
+    for workload in [Workload::W1, Workload::W6] {
+        for granularity in [TimeGranularity::Daily, TimeGranularity::Hourly] {
+            for sla in [0.90, 1.00] {
+                let params = ProvisionParams::new(sla, granularity);
+                let r = provision_servers(sim(), workload, &params).unwrap();
+                assert!(
+                    r.lb.spares <= r.mf.spares + 1e-9,
+                    "{workload} {granularity:?} {sla}: LB {} > MF {}",
+                    r.lb.spares,
+                    r.mf.spares
+                );
+                assert!(
+                    r.mf.spares <= r.sf.spares + 1e-9,
+                    "{workload} {granularity:?} {sla}: MF {} > SF {}",
+                    r.mf.spares,
+                    r.sf.spares
+                );
+                assert!(r.sf.overprovision_pct <= 100.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn q1_mf_clusters_partition_the_racks() {
+    let params = ProvisionParams::new(1.0, TimeGranularity::Daily);
+    let r = provision_servers(sim(), Workload::W6, &params).unwrap();
+    let mut all_racks: Vec<_> = r.clusters.iter().flat_map(|c| c.racks.clone()).collect();
+    let total = all_racks.len();
+    all_racks.sort();
+    all_racks.dedup();
+    assert_eq!(all_racks.len(), total, "clusters must not overlap");
+    // Every studied rack is in exactly one cluster.
+    let studied = sim()
+        .fleet
+        .racks_hosting(Workload::W6)
+        .filter(|rk| rk.commissioned_day < sim().config.end.days() as i64)
+        .count();
+    assert_eq!(total, studied);
+    // Cluster spare fractions are sorted and within [0, 1].
+    for w in r.clusters.windows(2) {
+        assert!(w[0].spare_fraction <= w[1].spare_fraction + 1e-12);
+    }
+    assert!(r.clusters.iter().all(|c| (0.0..=1.0).contains(&c.spare_fraction)));
+}
+
+#[test]
+fn q1_mf_beats_sf_substantially_at_strict_sla() {
+    let params = ProvisionParams::new(1.0, TimeGranularity::Daily);
+    for workload in [Workload::W1, Workload::W6] {
+        let r = provision_servers(sim(), workload, &params).unwrap();
+        assert!(
+            r.mf.spares < 0.7 * r.sf.spares,
+            "{workload}: MF {} should be well below SF {}",
+            r.mf.spares,
+            r.sf.spares
+        );
+        let savings = rainshine::analysis::q1::tco_savings(&r, &TcoModel::default());
+        assert!(savings > 0.01, "{workload}: TCO savings {savings}");
+    }
+}
+
+#[test]
+fn q1_component_level_cheaper_under_mf() {
+    let params = ProvisionParams::new(1.0, TimeGranularity::Daily);
+    for workload in [Workload::W1, Workload::W6] {
+        let r = provision_components(sim(), workload, &params).unwrap();
+        assert!(
+            r.component_level.mf < r.server_level.mf,
+            "{workload}: component {} vs server {}",
+            r.component_level.mf,
+            r.server_level.mf
+        );
+        assert!(r.component_level.lb <= r.component_level.sf + 1e-9);
+    }
+}
+
+#[test]
+fn q2_sf_exaggerates_and_mf_corrects() {
+    let out = sim();
+    let sf = sf_comparison(out, &[Sku::S2, Sku::S4]).unwrap();
+    let s2 = sf.iter().find(|r| r.sku == "S2").unwrap();
+    let s4 = sf.iter().find(|r| r.sku == "S4").unwrap();
+    let raw_ratio = s2.avg_rate / s4.avg_rate;
+    assert!(raw_ratio > 5.0, "confounded raw ratio {raw_ratio}");
+
+    let table = rack_day_table(out, FaultFilter::AllHardware, 2).unwrap();
+    let cart = CartParams::default().with_min_sizes(100, 50).with_cp(0.001);
+    let mf = mf_comparison(out, &table, &cart).unwrap();
+    let mf_ratio = mf.avg_ratio("S2", "S4").unwrap();
+    // Ground truth is 4x; the MF estimate must be much closer to it than
+    // the raw ratio is.
+    assert!(
+        (mf_ratio - 4.0).abs() < (raw_ratio - 4.0).abs(),
+        "MF {mf_ratio} should beat SF {raw_ratio}"
+    );
+    assert!((2.5..6.5).contains(&mf_ratio), "MF ratio {mf_ratio}");
+}
+
+#[test]
+fn q3_dc1_threshold_discovered_dc2_flat() {
+    let out = sim();
+    let disk = rack_day_table(out, FaultFilter::Component(HardwareFault::Disk), 1).unwrap();
+    let cart = CartParams::default().with_min_sizes(400, 200).with_cp(0.002);
+
+    let dc1 = env_analysis("DC1", &dc_subset(&disk, "DC1").unwrap(), &cart).unwrap();
+    assert!(
+        (74.0..=82.0).contains(&dc1.temp_threshold),
+        "planted 78F, discovered {}",
+        dc1.temp_threshold
+    );
+    assert!(dc1.hot.mean > 1.3 * dc1.cool.mean, "hot step missing");
+    assert!(!dc1.discovered.is_empty());
+
+    let dc2 = env_analysis("DC2", &dc_subset(&disk, "DC2").unwrap(), &cart).unwrap();
+    if dc2.hot.n > 100 {
+        let ratio = dc2.hot.mean / dc2.cool.mean.max(1e-12);
+        assert!(ratio < 1.35, "DC2 should be flat, got {ratio}");
+    }
+}
+
+#[test]
+fn table_ii_mix_tracks_the_paper() {
+    let out = sim();
+    let tp = out.true_positives();
+    let total = tp.len() as f64;
+    let share = |pred: &dyn Fn(&rainshine::telemetry::rma::FaultKind) -> bool| {
+        tp.iter().filter(|t| pred(&t.fault)).count() as f64 / total
+    };
+    let software =
+        share(&|f| matches!(f, rainshine::telemetry::rma::FaultKind::Software(_)));
+    let hardware = share(&|f| f.is_hardware());
+    let boot = share(&|f| matches!(f, rainshine::telemetry::rma::FaultKind::Boot(_)));
+    // Paper: software 45-55%, hardware 20-30%, boot 12-14%.
+    assert!((0.40..0.60).contains(&software), "software share {software}");
+    assert!((0.15..0.35).contains(&hardware), "hardware share {hardware}");
+    assert!((0.08..0.18).contains(&boot), "boot share {boot}");
+}
