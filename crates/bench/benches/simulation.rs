@@ -6,6 +6,7 @@ use rainshine_dcsim::environment::EnvModel;
 use rainshine_dcsim::hazard::ComponentClass;
 use rainshine_dcsim::topology::Fleet;
 use rainshine_dcsim::{FleetConfig, Simulation};
+use rainshine_parallel::Parallelism;
 use rainshine_telemetry::time::SimTime;
 
 fn bench_fleet_build(c: &mut Criterion) {
@@ -64,5 +65,31 @@ fn bench_full_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fleet_build, bench_env_sampling, bench_hazard_eval, bench_full_run);
+/// A medium run at 1 / 2 / 8 worker threads for the per-rack generation
+/// loops. The ticket stream is identical across variants.
+fn bench_run_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_run_threads");
+    group.sample_size(10);
+    for (name, parallelism) in [
+        ("1", Parallelism::Sequential),
+        ("2", Parallelism::Threads(2)),
+        ("8", Parallelism::Threads(8)),
+    ] {
+        let mut config = FleetConfig::medium();
+        config.parallelism = parallelism;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| Simulation::new(config.clone(), 42).run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fleet_build,
+    bench_env_sampling,
+    bench_hazard_eval,
+    bench_full_run,
+    bench_run_threads
+);
 criterion_main!(benches);

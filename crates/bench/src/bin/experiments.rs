@@ -2,7 +2,12 @@
 //!
 //! ```text
 //! experiments [--scale small|medium|paper] [--seed N] [--out DIR] [--only ID[,ID...]]
+//!             [--threads N|auto]
 //! ```
+//!
+//! `--threads` controls the worker-thread count of the parallel stages
+//! (simulation ticket generation; `auto`/`0` = one per core, `1` =
+//! sequential). Results are bit-identical for every setting.
 //!
 //! Writes one CSV per artifact into the output directory (default
 //! `results/`) and prints a preview of each.
@@ -11,12 +16,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rainshine_bench::{run_experiment, ExperimentContext, Scale, ALL_EXPERIMENTS};
+use rainshine_parallel::Parallelism;
 
 struct Args {
     scale: Scale,
     seed: u64,
     out: PathBuf,
     only: Option<Vec<String>>,
+    threads: Parallelism,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         out: PathBuf::from("results"),
         only: None,
+        threads: Parallelism::Auto,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -47,10 +55,11 @@ fn parse_args() -> Result<Args, String> {
                 args.only =
                     Some(value("--only")?.split(',').map(|s| s.trim().to_owned()).collect());
             }
+            "--threads" => args.threads = Parallelism::from_flag(&value("--threads")?)?,
             "--help" | "-h" => {
                 return Err(
                     "usage: experiments [--scale small|medium|paper] [--seed N] \
-                     [--out DIR] [--only ID[,ID...]]"
+                     [--out DIR] [--only ID[,ID...]] [--threads N|auto]"
                         .to_owned(),
                 );
             }
@@ -73,11 +82,11 @@ fn main() -> ExitCode {
         None => ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect(),
     };
     eprintln!(
-        "simulating fleet ({:?} scale, seed {}) ...",
-        args.scale, args.seed
+        "simulating fleet ({:?} scale, seed {}, {:?}) ...",
+        args.scale, args.seed, args.threads
     );
     let t0 = std::time::Instant::now();
-    let mut ctx = ExperimentContext::new(args.scale, args.seed);
+    let mut ctx = ExperimentContext::new_with_parallelism(args.scale, args.seed, args.threads);
     eprintln!(
         "simulated {} racks, {} tickets in {:.1?}\n",
         ctx.output.fleet.racks.len(),

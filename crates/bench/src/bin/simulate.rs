@@ -2,8 +2,12 @@
 //! production data — as CSVs for downstream analysis in any toolchain.
 //!
 //! ```text
-//! simulate [--scale small|medium|paper] [--seed N] [--out DIR]
+//! simulate [--scale small|medium|paper] [--seed N] [--out DIR] [--threads N|auto]
 //! ```
+//!
+//! `--threads` controls how many worker threads the simulator's per-rack
+//! generation loops use (`auto`/`0` = one per core, `1` = sequential).
+//! The output is bit-identical for every setting.
 //!
 //! Writes `fleet.csv` (rack inventory), `tickets.csv` (the RMA stream,
 //! false positives flagged), `environment.csv` (daily mean inlet conditions
@@ -15,12 +19,14 @@ use std::process::ExitCode;
 
 use rainshine_bench::Scale;
 use rainshine_dcsim::Simulation;
+use rainshine_parallel::Parallelism;
 use rainshine_telemetry::ids::{DcId, RegionId};
 
 fn main() -> ExitCode {
     let mut scale = Scale::Medium;
     let mut seed = 42u64;
     let mut out = PathBuf::from("dataset");
+    let mut threads = Parallelism::Auto;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -34,9 +40,10 @@ fn main() -> ExitCode {
                 }
                 "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
                 "--out" => out = PathBuf::from(value("--out")?),
+                "--threads" => threads = Parallelism::from_flag(&value("--threads")?)?,
                 "--help" | "-h" => {
                     return Err("usage: simulate [--scale small|medium|paper] [--seed N] \
-                                [--out DIR]"
+                                [--out DIR] [--threads N|auto]"
                         .into())
                 }
                 other => return Err(format!("unknown flag `{other}`")),
@@ -49,12 +56,13 @@ fn main() -> ExitCode {
         }
     }
 
-    let config = match scale {
+    let mut config = match scale {
         Scale::Small => rainshine_dcsim::FleetConfig::small(),
         Scale::Medium => rainshine_dcsim::FleetConfig::medium(),
         Scale::Paper => rainshine_dcsim::FleetConfig::paper_scale(),
     };
-    eprintln!("simulating ({scale:?}, seed {seed}) ...");
+    config.parallelism = threads;
+    eprintln!("simulating ({scale:?}, seed {seed}, {threads:?}) ...");
     let output = Simulation::new(config, seed).run();
     if let Err(e) = write_dataset(&output, &out) {
         eprintln!("failed to write dataset: {e}");

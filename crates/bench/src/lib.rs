@@ -75,8 +75,21 @@ pub struct ExperimentContext {
 impl ExperimentContext {
     /// Runs the simulation for `scale` with `seed`.
     pub fn new(scale: Scale, seed: u64) -> Self {
+        Self::new_with_parallelism(scale, seed, rainshine_parallel::Parallelism::Auto)
+    }
+
+    /// Runs the simulation for `scale` with `seed` and an explicit thread
+    /// policy for the simulation's per-rack generation loops. The ticket
+    /// stream is the same for every policy; only wall-clock time changes.
+    pub fn new_with_parallelism(
+        scale: Scale,
+        seed: u64,
+        parallelism: rainshine_parallel::Parallelism,
+    ) -> Self {
+        let mut config = scale.config();
+        config.parallelism = parallelism;
         ExperimentContext {
-            output: Simulation::new(scale.config(), seed).run(),
+            output: Simulation::new(config, seed).run(),
             scale,
             all_hw: None,
             disk: None,

@@ -44,6 +44,17 @@ pub enum FeatureColumn<'a> {
     },
 }
 
+impl FeatureColumn<'_> {
+    /// Human-readable kind name, used in kind-mismatch errors.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            FeatureColumn::Continuous(_) => "continuous",
+            FeatureColumn::Ordinal(_) => "ordinal",
+            FeatureColumn::Nominal { .. } => "nominal",
+        }
+    }
+}
+
 /// A CART-ready dataset: a table, a validated target, and a feature list.
 ///
 /// Construct with [`CartDataset::regression`] or

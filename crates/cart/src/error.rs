@@ -40,6 +40,17 @@ pub enum CartError {
         /// Feature name used by the tree.
         name: String,
     },
+    /// A prediction table carries a feature whose kind differs from the
+    /// kind the fitted split rule was trained on (e.g. a column that was
+    /// continuous at fit time arrives nominal at predict time).
+    ColumnKindMismatch {
+        /// Feature name tested by the split rule.
+        feature: String,
+        /// Column kind the rule expects.
+        expected: &'static str,
+        /// Column kind the table provided.
+        found: &'static str,
+    },
 }
 
 impl fmt::Display for CartError {
@@ -62,6 +73,12 @@ impl fmt::Display for CartError {
             }
             CartError::MissingFeature { name } => {
                 write!(f, "prediction table lacks feature `{name}`")
+            }
+            CartError::ColumnKindMismatch { feature, expected, found } => {
+                write!(
+                    f,
+                    "feature `{feature}` is {found} but the fitted rule expects {expected}"
+                )
             }
         }
     }

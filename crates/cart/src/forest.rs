@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use rainshine_parallel::{derive_seed, par_map_range, Parallelism};
 use rainshine_telemetry::table::Table;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -17,7 +18,6 @@ use serde::{Deserialize, Serialize};
 
 use crate::dataset::{feature_column, CartDataset, FeatureColumn, Target};
 use crate::params::CartParams;
-use crate::split::SplitRule;
 use crate::tree::Tree;
 use crate::{CartError, Result};
 
@@ -29,8 +29,14 @@ pub struct ForestParams {
     /// Bootstrap sample size as a fraction of the dataset (sampling is with
     /// replacement, so `1.0` is the classic bootstrap).
     pub sample_fraction: f64,
-    /// RNG seed for bootstrap sampling.
+    /// RNG seed for bootstrap sampling. Each tree derives its own
+    /// independent stream as `seed ^ tree_index`, so the fitted forest
+    /// does not depend on the order trees are built in.
     pub seed: u64,
+    /// How to spread tree fitting across threads. Because every tree
+    /// owns a derived seed and results merge in tree-index order, the
+    /// fitted forest is bit-identical for any setting.
+    pub parallelism: Parallelism,
     /// Parameters for each member tree.
     pub tree_params: CartParams,
 }
@@ -41,6 +47,7 @@ impl Default for ForestParams {
             trees: 25,
             sample_fraction: 1.0,
             seed: 0,
+            parallelism: Parallelism::Auto,
             tree_params: CartParams::default(),
         }
     }
@@ -84,12 +91,11 @@ impl Forest {
         };
         let n = dataset.len();
         let sample_size = ((n as f64 * params.sample_fraction).round() as usize).max(1);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
-        let mut trees = Vec::with_capacity(params.trees);
-        // Out-of-bag accumulation.
-        let mut oob_sum = vec![0.0f64; n];
-        let mut oob_count = vec![0u32; n];
-        for _ in 0..params.trees {
+        // Each tree draws its bootstrap sample from an RNG seeded by
+        // `seed ^ tree_index`, so trees can fit on any thread in any
+        // order and still land on identical results.
+        let fitted = par_map_range(params.parallelism, params.trees, |tree_index| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed ^ tree_index as u64);
             let mut in_bag = vec![false; n];
             let rows: Vec<usize> = (0..sample_size)
                 .map(|_| {
@@ -100,6 +106,15 @@ impl Forest {
                 .collect();
             let tree = Tree::fit_on_rows(dataset, &params.tree_params, &rows)?;
             let predictions = tree.predict(dataset.table())?;
+            Ok::<_, CartError>((tree, in_bag, predictions))
+        });
+        // Out-of-bag accumulation, merged sequentially in tree-index
+        // order so float summation order is fixed.
+        let mut trees = Vec::with_capacity(params.trees);
+        let mut oob_sum = vec![0.0f64; n];
+        let mut oob_count = vec![0u32; n];
+        for result in fitted {
+            let (tree, in_bag, predictions): (Tree, Vec<bool>, Vec<f64>) = result?;
             for (row, &pred) in predictions.iter().enumerate() {
                 if !in_bag[row] {
                     oob_sum[row] += pred;
@@ -199,6 +214,23 @@ impl Forest {
         dataset: &CartDataset<'_>,
         seed: u64,
     ) -> Result<Vec<(String, f64)>> {
+        self.permutation_importance_with(dataset, seed, Parallelism::Auto)
+    }
+
+    /// [`permutation_importance`](Self::permutation_importance) with an
+    /// explicit [`Parallelism`]. Each feature shuffles with its own
+    /// derived seed, so results are identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dataset is not the one the forest was fitted
+    /// on (missing features / target).
+    pub fn permutation_importance_with(
+        &self,
+        dataset: &CartDataset<'_>,
+        seed: u64,
+        parallelism: Parallelism,
+    ) -> Result<Vec<(String, f64)>> {
         let Target::Regression(y) = dataset.target() else {
             return Err(CartError::TargetKind { expected: "continuous" });
         };
@@ -207,10 +239,15 @@ impl Forest {
         let base_pred = self.predict(table)?;
         let base_mse =
             base_pred.iter().zip(y).map(|(p, t)| (p - t).powi(2)).sum::<f64>() / n as f64;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut out = Vec::with_capacity(self.feature_names.len());
-        for feature in &self.feature_names {
+        const PERMUTATION_STREAM: u64 = 0x9e37;
+        let scores = par_map_range(parallelism, self.feature_names.len(), |feature_index| {
+            let feature = &self.feature_names[feature_index];
+            let mut rng = rand::rngs::StdRng::seed_from_u64(derive_seed(
+                seed,
+                PERMUTATION_STREAM,
+                feature_index as u64,
+            ));
+            let mut perm: Vec<usize> = (0..n).collect();
             perm.shuffle(&mut rng);
             let mut mse = 0.0;
             for row in 0..n {
@@ -220,8 +257,9 @@ impl Forest {
             mse /= n as f64;
             let importance =
                 ((mse - base_mse) / base_mse.max(f64::MIN_POSITIVE)).max(0.0);
-            out.push((feature.clone(), importance));
-        }
+            Ok((feature.clone(), importance))
+        });
+        let mut out = scores.into_iter().collect::<Result<Vec<_>>>()?;
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importance"));
         Ok(out)
     }
@@ -249,7 +287,7 @@ impl Forest {
                 };
                 let effective_row =
                     if rule.feature() == feature { source_row } else { row };
-                let goes_left = evaluate(rule, &columns[rule.feature()], effective_row);
+                let goes_left = rule.try_goes_left(&columns[rule.feature()], effective_row)?;
                 id = if goes_left {
                     node.left.expect("split node has left child")
                 } else {
@@ -259,10 +297,6 @@ impl Forest {
         }
         Ok(sum / self.trees.len() as f64)
     }
-}
-
-fn evaluate(rule: &SplitRule, column: &FeatureColumn<'_>, row: usize) -> bool {
-    rule.goes_left(column, row)
 }
 
 #[cfg(test)]
@@ -296,6 +330,7 @@ mod tests {
             trees: 15,
             sample_fraction: 0.8,
             seed: 3,
+            parallelism: Parallelism::Auto,
             tree_params: CartParams::default().with_min_sizes(20, 10),
         }
     }
@@ -347,6 +382,30 @@ mod tests {
         other.seed = 99;
         let c = Forest::fit(&ds, &other).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_forest() {
+        let t = table(300);
+        let ds = CartDataset::regression(&t, "y", &["signal", "noise"]).unwrap();
+        let mut params = forest_params();
+        params.parallelism = Parallelism::Sequential;
+        let sequential = Forest::fit(&ds, &params).unwrap();
+        for parallelism in [Parallelism::Threads(2), Parallelism::Threads(4), Parallelism::Auto] {
+            params.parallelism = parallelism;
+            let threaded = Forest::fit(&ds, &params).unwrap();
+            assert_eq!(sequential, threaded, "forest differs under {parallelism:?}");
+            assert_eq!(sequential.oob_mse(), threaded.oob_mse());
+        }
+        // Permutation importance is per-feature seeded, so it is also
+        // invariant to thread count.
+        let a = sequential
+            .permutation_importance_with(&ds, 11, Parallelism::Sequential)
+            .unwrap();
+        let b = sequential
+            .permutation_importance_with(&ds, 11, Parallelism::Threads(4))
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

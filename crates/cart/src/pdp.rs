@@ -13,8 +13,9 @@
 //!   each stratum, aggregating ratios across strata —
 //!   [`stratified_effect_nominal`] / [`stratified_effect_binned`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
+use rainshine_parallel::{par_map, Parallelism};
 use rainshine_stats::hist::Binner;
 use rainshine_telemetry::table::Table;
 use serde::{Deserialize, Serialize};
@@ -24,6 +25,16 @@ use crate::params::CartParams;
 use crate::split::SplitRule;
 use crate::tree::Tree;
 use crate::{CartError, Result};
+
+/// Options for grid partial-dependence evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PdpParams {
+    /// How to spread grid-point evaluation across threads. Each grid
+    /// point is an independent pass over the dataset and results are
+    /// merged in grid order, so the curve is bit-identical for any
+    /// setting.
+    pub parallelism: Parallelism,
+}
 
 /// One point of a grid partial-dependence curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -42,18 +53,28 @@ enum Override {
     Nominal(u32),
 }
 
+impl Override {
+    fn kind_name(self) -> &'static str {
+        match self {
+            Override::Continuous(_) => "continuous",
+            Override::Ordinal(_) => "ordinal",
+            Override::Nominal(_) => "nominal",
+        }
+    }
+}
+
 fn walk_with_override(
     tree: &Tree,
     columns: &HashMap<&str, FeatureColumn<'_>>,
     row: usize,
     feature: &str,
     forced: Override,
-) -> f64 {
+) -> Result<f64> {
     let mut id = 0usize;
     loop {
         let node = &tree.nodes()[id];
         let Some(rule) = &node.rule else {
-            return node.prediction;
+            return Ok(node.prediction);
         };
         let goes_left = if rule.feature() == feature {
             match (rule, forced) {
@@ -66,10 +87,16 @@ fn walk_with_override(
                 (SplitRule::NominalSubset { left_codes, .. }, Override::Nominal(c)) => {
                     left_codes.contains(&c)
                 }
-                _ => panic!("override kind does not match rule kind for `{feature}`"),
+                _ => {
+                    return Err(CartError::ColumnKindMismatch {
+                        feature: feature.to_owned(),
+                        expected: rule.expected_kind(),
+                        found: forced.kind_name(),
+                    })
+                }
             }
         } else {
-            rule.goes_left(&columns[rule.feature()], row)
+            rule.try_goes_left(&columns[rule.feature()], row)?
         };
         id = if goes_left {
             node.left.expect("split node has left child")
@@ -106,20 +133,36 @@ pub fn partial_dependence_continuous(
     feature: &str,
     grid: &[f64],
 ) -> Result<Vec<PdpPoint>> {
+    partial_dependence_continuous_with(tree, table, feature, grid, &PdpParams::default())
+}
+
+/// [`partial_dependence_continuous`] with explicit [`PdpParams`]. Grid
+/// points are independent dataset passes, so they evaluate in parallel;
+/// per-point row sums run on one thread each, keeping float summation
+/// order (and thus the curve) identical at every thread count.
+///
+/// # Errors
+///
+/// See [`partial_dependence_continuous`].
+pub fn partial_dependence_continuous_with(
+    tree: &Tree,
+    table: &Table,
+    feature: &str,
+    grid: &[f64],
+    params: &PdpParams,
+) -> Result<Vec<PdpPoint>> {
     table.continuous(feature)?; // kind check
     let columns = resolve_columns(tree, table)?;
     let n = table.rows().max(1) as f64;
-    Ok(grid
-        .iter()
-        .map(|&v| {
-            let sum: f64 = (0..table.rows())
-                .map(|row| {
-                    walk_with_override(tree, &columns, row, feature, Override::Continuous(v))
-                })
-                .sum();
-            PdpPoint { value: v, mean_prediction: sum / n }
-        })
-        .collect())
+    par_map(params.parallelism, grid, |&v| {
+        let mut sum = 0.0;
+        for row in 0..table.rows() {
+            sum += walk_with_override(tree, &columns, row, feature, Override::Continuous(v))?;
+        }
+        Ok(PdpPoint { value: v, mean_prediction: sum / n })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Grid partial dependence for a nominal feature: one mean prediction per
@@ -134,21 +177,35 @@ pub fn partial_dependence_nominal(
     table: &Table,
     feature: &str,
 ) -> Result<Vec<(String, f64)>> {
+    partial_dependence_nominal_with(tree, table, feature, &PdpParams::default())
+}
+
+/// [`partial_dependence_nominal`] with explicit [`PdpParams`]; categories
+/// evaluate in parallel, results stay in category order.
+///
+/// # Errors
+///
+/// See [`partial_dependence_nominal`].
+pub fn partial_dependence_nominal_with(
+    tree: &Tree,
+    table: &Table,
+    feature: &str,
+    params: &PdpParams,
+) -> Result<Vec<(String, f64)>> {
     let categories = table.categories(feature)?.to_vec();
     let columns = resolve_columns(tree, table)?;
     let n = table.rows().max(1) as f64;
-    Ok(categories
-        .iter()
-        .enumerate()
-        .map(|(code, label)| {
-            let sum: f64 = (0..table.rows())
-                .map(|row| {
-                    walk_with_override(tree, &columns, row, feature, Override::Nominal(code as u32))
-                })
-                .sum();
-            (label.clone(), sum / n)
-        })
-        .collect())
+    let codes: Vec<usize> = (0..categories.len()).collect();
+    par_map(params.parallelism, &codes, |&code| {
+        let mut sum = 0.0;
+        for row in 0..table.rows() {
+            sum +=
+                walk_with_override(tree, &columns, row, feature, Override::Nominal(code as u32))?;
+        }
+        Ok((categories[code].clone(), sum / n))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Grid partial dependence for an ordinal feature: one mean prediction per
@@ -164,18 +221,34 @@ pub fn partial_dependence_ordinal(
     feature: &str,
     levels: &[i64],
 ) -> Result<Vec<(i64, f64)>> {
+    partial_dependence_ordinal_with(tree, table, feature, levels, &PdpParams::default())
+}
+
+/// [`partial_dependence_ordinal`] with explicit [`PdpParams`]; levels
+/// evaluate in parallel, results stay in level order.
+///
+/// # Errors
+///
+/// See [`partial_dependence_ordinal`].
+pub fn partial_dependence_ordinal_with(
+    tree: &Tree,
+    table: &Table,
+    feature: &str,
+    levels: &[i64],
+    params: &PdpParams,
+) -> Result<Vec<(i64, f64)>> {
     table.ordinal(feature)?; // kind check
     let columns = resolve_columns(tree, table)?;
     let n = table.rows().max(1) as f64;
-    Ok(levels
-        .iter()
-        .map(|&lvl| {
-            let sum: f64 = (0..table.rows())
-                .map(|row| walk_with_override(tree, &columns, row, feature, Override::Ordinal(lvl)))
-                .sum();
-            (lvl, sum / n)
-        })
-        .collect())
+    par_map(params.parallelism, levels, |&lvl| {
+        let mut sum = 0.0;
+        for row in 0..table.rows() {
+            sum += walk_with_override(tree, &columns, row, feature, Override::Ordinal(lvl))?;
+        }
+        Ok((lvl, sum / n))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// An evenly spaced grid over the observed range of a continuous column.
@@ -294,7 +367,11 @@ fn stratified_effect_impl(
         sum: f64,
         n: usize,
     }
-    let mut agg: HashMap<usize, StratumAgg> = HashMap::new();
+    // BTreeMap, not HashMap: the aggregate is *iterated* below (stratum ids,
+    // cell order, float summation order), so the map's iteration order is
+    // part of the result. HashMap's per-instance hash seed made cell order —
+    // and through it the last bits of the fitted effects — vary run to run.
+    let mut agg: BTreeMap<usize, StratumAgg> = BTreeMap::new();
     for row in 0..table.rows() {
         let s = agg.entry(strata[row]).or_insert_with(|| StratumAgg {
             level_sum: vec![0.0; n_levels],
@@ -588,6 +665,65 @@ mod tests {
         // High-z bin has higher relative failure rate than low-z within
         // sku-strata.
         assert!(eff.levels[1].relative > eff.levels[0].relative);
+    }
+
+    #[test]
+    fn pdp_threads_match_sequential() {
+        let t = confounded_table();
+        let ds = CartDataset::regression(&t, "y", &["z", "sku"]).unwrap();
+        let tree = Tree::fit(&ds, &CartParams::default().with_min_sizes(10, 5)).unwrap();
+        let grid = grid_over_column(&t, "z", 17).unwrap();
+        let sequential = partial_dependence_continuous_with(
+            &tree,
+            &t,
+            "z",
+            &grid,
+            &PdpParams { parallelism: Parallelism::Sequential },
+        )
+        .unwrap();
+        for par in [Parallelism::Threads(2), Parallelism::Threads(4), Parallelism::Auto] {
+            let parallel = partial_dependence_continuous_with(
+                &tree,
+                &t,
+                "z",
+                &grid,
+                &PdpParams { parallelism: par },
+            )
+            .unwrap();
+            assert_eq!(sequential, parallel, "{par:?}");
+        }
+        let seq_nom = partial_dependence_nominal_with(
+            &tree,
+            &t,
+            "sku",
+            &PdpParams { parallelism: Parallelism::Sequential },
+        )
+        .unwrap();
+        let par_nom = partial_dependence_nominal_with(
+            &tree,
+            &t,
+            "sku",
+            &PdpParams { parallelism: Parallelism::Threads(4) },
+        )
+        .unwrap();
+        assert_eq!(seq_nom, par_nom);
+    }
+
+    #[test]
+    fn pdp_override_kind_mismatch_is_typed() {
+        let t = confounded_table();
+        let ds = CartDataset::regression(&t, "y", &["z", "sku"]).unwrap();
+        let tree = Tree::fit(&ds, &CartParams::default().with_min_sizes(10, 5)).unwrap();
+        let columns = resolve_columns(&tree, &t).unwrap();
+        // Force a nominal value onto the continuous feature "z": every walk
+        // that reaches a "z" rule must surface the mismatch as an error.
+        let result: Result<Vec<f64>> = (0..t.rows())
+            .map(|row| walk_with_override(&tree, &columns, row, "z", Override::Nominal(0)))
+            .collect();
+        assert!(matches!(
+            result,
+            Err(CartError::ColumnKindMismatch { expected: "continuous", found: "nominal", .. })
+        ));
     }
 
     #[test]

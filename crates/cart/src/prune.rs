@@ -43,7 +43,7 @@ fn weakest_link(tree: &Tree) -> Option<(usize, f64)> {
         }
         let (leaves, subtree_risk) = subtree_stats(tree, node.id);
         let g = (node.risk - subtree_risk) / (leaves - 1) as f64;
-        if best.map_or(true, |(_, bg)| g < bg) {
+        if best.is_none_or(|(_, bg)| g < bg) {
             best = Some((node.id, g));
         }
     }

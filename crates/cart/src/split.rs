@@ -17,6 +17,7 @@ use std::collections::BTreeSet;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::{FeatureColumn, Target};
+use crate::error::CartError;
 use crate::params::{CartParams, NominalSearch};
 
 /// A fitted split rule. Rows satisfying the rule go to the **left** child.
@@ -57,24 +58,58 @@ impl SplitRule {
         }
     }
 
+    /// The column kind this rule expects to test.
+    pub fn expected_kind(&self) -> &'static str {
+        match self {
+            SplitRule::ContinuousThreshold { .. } => "continuous",
+            SplitRule::OrdinalThreshold { .. } => "ordinal",
+            SplitRule::NominalSubset { .. } => "nominal",
+        }
+    }
+
+    /// Whether `row` of `column` goes to the left child.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CartError::ColumnKindMismatch`] if the column kind does
+    /// not match the rule kind — this happens when a prediction table's
+    /// schema drifted from the fit-time schema (same column name,
+    /// different kind).
+    pub fn try_goes_left(
+        &self,
+        column: &FeatureColumn<'_>,
+        row: usize,
+    ) -> Result<bool, CartError> {
+        match (self, column) {
+            (SplitRule::ContinuousThreshold { threshold, .. }, FeatureColumn::Continuous(v)) => {
+                Ok(v[row] <= *threshold)
+            }
+            (SplitRule::OrdinalThreshold { threshold, .. }, FeatureColumn::Ordinal(v)) => {
+                Ok(v[row] <= *threshold)
+            }
+            (SplitRule::NominalSubset { left_codes, .. }, FeatureColumn::Nominal { codes, .. }) => {
+                Ok(left_codes.contains(&codes[row]))
+            }
+            _ => Err(CartError::ColumnKindMismatch {
+                feature: self.feature().to_owned(),
+                expected: self.expected_kind(),
+                found: column.kind_name(),
+            }),
+        }
+    }
+
     /// Whether `row` of `column` goes to the left child.
     ///
     /// # Panics
     ///
-    /// Panics if the column kind does not match the rule kind (the tree
-    /// guarantees consistency).
+    /// Panics if the column kind does not match the rule kind. Fit-time
+    /// callers use this because the tree guarantees consistency there;
+    /// prediction paths use [`SplitRule::try_goes_left`] instead so that
+    /// schema drift surfaces as a typed error.
     pub fn goes_left(&self, column: &FeatureColumn<'_>, row: usize) -> bool {
-        match (self, column) {
-            (SplitRule::ContinuousThreshold { threshold, .. }, FeatureColumn::Continuous(v)) => {
-                v[row] <= *threshold
-            }
-            (SplitRule::OrdinalThreshold { threshold, .. }, FeatureColumn::Ordinal(v)) => {
-                v[row] <= *threshold
-            }
-            (SplitRule::NominalSubset { left_codes, .. }, FeatureColumn::Nominal { codes, .. }) => {
-                left_codes.contains(&codes[row])
-            }
-            _ => panic!("split rule kind does not match column kind"),
+        match self.try_goes_left(column, row) {
+            Ok(left) => left,
+            Err(e) => panic!("split rule kind does not match column kind: {e}"),
         }
     }
 
@@ -174,7 +209,7 @@ impl RiskAcc {
                         - counts
                             .iter()
                             .zip(tc)
-                            .map(|(c, t)| (((t - c) / rn)).powi(2))
+                            .map(|(c, t)| ((t - c) / rn).powi(2))
                             .sum::<f64>();
                     rn * gini
                 }

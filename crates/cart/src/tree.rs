@@ -267,21 +267,22 @@ impl Tree {
     /// # Errors
     ///
     /// Returns [`CartError::MissingFeature`] if `table` lacks a feature the
-    /// tree references.
+    /// tree references, or [`CartError::ColumnKindMismatch`] if a feature's
+    /// kind drifted from the fit-time schema.
     pub fn leaf_assignments(&self, table: &Table) -> Result<Vec<usize>> {
         let columns = self.resolve_columns(table)?;
-        Ok((0..table.rows()).map(|row| self.walk(&columns, row)).collect())
+        (0..table.rows()).map(|row| self.walk(&columns, row)).collect()
     }
 
-    fn walk(&self, columns: &HashMap<&str, FeatureColumn<'_>>, row: usize) -> usize {
+    fn walk(&self, columns: &HashMap<&str, FeatureColumn<'_>>, row: usize) -> Result<usize> {
         let mut id = 0;
         loop {
             let node = &self.nodes[id];
             let Some(rule) = &node.rule else {
-                return id;
+                return Ok(id);
             };
             let column = &columns[rule.feature()];
-            id = if rule.goes_left(column, row) {
+            id = if rule.try_goes_left(column, row)? {
                 node.left.expect("split node has left child")
             } else {
                 node.right.expect("split node has right child")
@@ -591,6 +592,31 @@ mod tests {
         b.push_row(vec![Value::Continuous(0.0)]).unwrap();
         let other = b.build();
         assert!(matches!(tree.predict(&other), Err(CartError::MissingFeature { .. })));
+    }
+
+    #[test]
+    fn drifted_column_kind_errors_instead_of_panicking() {
+        let t = step_table(200);
+        let ds = CartDataset::regression(&t, "y", &["x", "k"]).unwrap();
+        let tree = Tree::fit(&ds, &CartParams::default()).unwrap();
+        // Same column names, but "x" arrives nominal instead of continuous:
+        // the schema drifted between fit and predict.
+        let schema = Schema::new(vec![
+            Field::new("x", FeatureKind::Nominal),
+            Field::new("k", FeatureKind::Nominal),
+            Field::new("y", FeatureKind::Continuous),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        b.push_row(vec!["10".into(), "a".into(), Value::Continuous(1.0)]).unwrap();
+        let drifted = b.build();
+        match tree.predict(&drifted) {
+            Err(CartError::ColumnKindMismatch { feature, expected, found }) => {
+                assert_eq!(feature, "x");
+                assert_eq!(expected, "continuous");
+                assert_eq!(found, "nominal");
+            }
+            other => panic!("expected ColumnKindMismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -425,11 +425,9 @@ mod tests {
     #[test]
     fn invalid_config_rejected() {
         let out = sim();
-        let mut c = PredictionConfig::default();
-        c.train_fraction = 1.5;
+        let c = PredictionConfig { train_fraction: 1.5, ..PredictionConfig::default() };
         assert!(predict_failures(&out, &c).is_err());
-        let mut c = PredictionConfig::default();
-        c.day_stride = 0;
+        let c = PredictionConfig { day_stride: 0, ..PredictionConfig::default() };
         assert!(predict_failures(&out, &c).is_err());
     }
 

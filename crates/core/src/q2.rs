@@ -280,8 +280,11 @@ mod tests {
     #[test]
     fn mf_recovers_intrinsic_ratio() {
         let out = sim();
-        let table = rack_day_table(&out, FaultFilter::AllHardware, 3).unwrap();
-        let cart = CartParams::default().with_min_sizes(200, 100).with_cp(0.003);
+        // Fine-grained control tree: at coarser settings (stride 3,
+        // cp 0.003) the strata are too wide to absorb the workload/age
+        // confounding and the recovered ratio swings 5–8 across seeds.
+        let table = rack_day_table(&out, FaultFilter::AllHardware, 2).unwrap();
+        let cart = CartParams::default().with_min_sizes(100, 50).with_cp(0.0005);
         let mf = mf_comparison(&out, &table, &cart).unwrap();
         let ratio = mf.avg_ratio("S2", "S4").expect("both SKUs present");
         assert!(

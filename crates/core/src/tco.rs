@@ -171,11 +171,9 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_fields() {
-        let mut m = TcoModel::default();
-        m.server_price = -1.0;
+        let m = TcoModel { server_price: -1.0, ..TcoModel::default() };
         assert!(m.validate().is_err());
-        let mut m = TcoModel::default();
-        m.spare_energy_fraction = 1.5;
+        let m = TcoModel { spare_energy_fraction: 1.5, ..TcoModel::default() };
         assert!(m.validate().is_err());
     }
 }

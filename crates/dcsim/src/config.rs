@@ -1,5 +1,6 @@
 //! Fleet and simulation configuration.
 
+use rainshine_parallel::Parallelism;
 use rainshine_telemetry::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +31,11 @@ pub struct FleetConfig {
     pub false_positive_rate: f64,
     /// Hazard-model knobs (ground-truth effect sizes).
     pub hazard: HazardConfig,
+    /// How to spread per-rack ticket generation across threads. Every
+    /// rack draws from its own seed-derived RNG stream and results merge
+    /// in rack order, so the ticket stream is bit-identical for any
+    /// setting (see [`crate::Simulation::run`]).
+    pub parallelism: Parallelism,
 }
 
 impl FleetConfig {
@@ -44,6 +50,7 @@ impl FleetConfig {
             layout_seed: 0xA11CE,
             false_positive_rate: 0.08,
             hazard: HazardConfig::default(),
+            parallelism: Parallelism::Auto,
         }
     }
 

@@ -460,11 +460,9 @@ mod tests {
 
     #[test]
     fn validation_catches_nonpositive() {
-        let mut h = HazardConfig::default();
-        h.disk_base = 0.0;
+        let h = HazardConfig { disk_base: 0.0, ..HazardConfig::default() };
         assert!(h.validate().is_err());
-        let mut h = HazardConfig::default();
-        h.season_amplitude = 1.5;
+        let h = HazardConfig { season_amplitude: 1.5, ..HazardConfig::default() };
         assert!(h.validate().is_err());
     }
 

@@ -1,5 +1,6 @@
 //! Top-level simulation driver.
 
+use rainshine_parallel::derive_seed;
 use rainshine_telemetry::ids::RackId;
 use rainshine_telemetry::rma::{self, RmaTicket};
 use rand::rngs::StdRng;
@@ -44,6 +45,11 @@ impl Simulation {
     /// the full RMA ticket stream (sorted by open time, false positives
     /// included and flagged).
     ///
+    /// Each generation stage draws per-rack (or per-DC) seed-derived RNG
+    /// streams and merges results in rack order, so the output is a pure
+    /// function of the seed: [`FleetConfig::parallelism`] changes only
+    /// wall-clock time, never a ticket.
+    ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid; validate with
@@ -52,16 +58,23 @@ impl Simulation {
         self.config.validate().expect("invalid simulation config");
         let fleet = Fleet::build(&self.config);
         let env = EnvModel::paper_layout(self.seed);
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut all = tickets::generate_hardware(&fleet, &self.config, &env, &mut rng);
-        all.extend(tickets::generate_bursts(&fleet, &self.config, &mut rng));
-        let non_hw = tickets::generate_non_hardware(&fleet, &self.config, &all, &mut rng);
+        let par = self.config.parallelism;
+        let mut all =
+            tickets::generate_hardware_par(&fleet, &self.config, &env, self.seed, par);
+        all.extend(tickets::generate_bursts_par(&fleet, &self.config, self.seed, par));
+        let non_hw =
+            tickets::generate_non_hardware_par(&fleet, &self.config, &all, self.seed, par);
         all.extend(non_hw);
+        let mut fp_rng = StdRng::seed_from_u64(derive_seed(
+            self.seed,
+            tickets::STREAM_FALSE_POSITIVES,
+            0,
+        ));
         let fps = tickets::inject_false_positives(
             &all,
             self.config.false_positive_rate,
             self.config.end,
-            &mut rng,
+            &mut fp_rng,
         );
         all.extend(fps);
         all.sort_by_key(|t| (t.opened, t.location.rack, t.device));
@@ -124,6 +137,19 @@ mod tests {
         let c = Simulation::new(FleetConfig::small(), 100).run();
         assert_ne!(a.tickets.len(), 0);
         assert_ne!(a.tickets, c.tickets);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_ticket_stream() {
+        use rainshine_parallel::Parallelism;
+        let mut config = FleetConfig::small();
+        config.parallelism = Parallelism::Sequential;
+        let sequential = Simulation::new(config.clone(), 99).run();
+        for par in [Parallelism::Threads(2), Parallelism::Threads(4), Parallelism::Auto] {
+            config.parallelism = par;
+            let parallel = Simulation::new(config.clone(), 99).run();
+            assert_eq!(sequential.tickets, parallel.tickets, "{par:?}");
+        }
     }
 
     #[test]

@@ -10,18 +10,28 @@
 //! False positives are injected last and flagged, mirroring the paper's
 //! "we use only the true positives".
 
+use rainshine_parallel::{derive_seed, par_map_range, Parallelism};
 use rainshine_stats::dist::{
     Bernoulli, Categorical, ContinuousDistribution, DiscreteDistribution, LogNormal, Poisson,
 };
 use rainshine_telemetry::ids::{DcId, DeviceId};
 use rainshine_telemetry::rma::{BootFault, FaultKind, HardwareFault, RmaTicket, SoftwareFault};
 use rainshine_telemetry::time::SimTime;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::config::FleetConfig;
 use crate::environment::EnvModel;
 use crate::hazard::ComponentClass;
 use crate::topology::{Fleet, RackInfo};
+
+/// Stream tags for [`derive_seed`]: each generation stage draws from its
+/// own family of per-item RNG streams, so stages never consume each
+/// other's randomness and any stage can run its items in parallel.
+pub(crate) const STREAM_HARDWARE: u64 = 1;
+pub(crate) const STREAM_BURSTS: u64 = 2;
+pub(crate) const STREAM_NON_HARDWARE: u64 = 3;
+pub(crate) const STREAM_FALSE_POSITIVES: u64 = 4;
 
 /// Table II's per-DC ticket-category shares (percent).
 pub fn table_ii_shares(dc: DcId) -> Vec<(FaultKind, f64)> {
@@ -138,9 +148,9 @@ fn make_hardware_ticket<R: Rng + ?Sized>(
     }
 }
 
-/// Generates hardware tickets for the whole observation span.
-pub fn generate_hardware<R: Rng + ?Sized>(
-    fleet: &Fleet,
+/// Hardware tickets for one rack over the whole observation span.
+fn hardware_for_rack<R: Rng + ?Sized>(
+    rack: &RackInfo,
     config: &FleetConfig,
     env: &EnvModel,
     rng: &mut R,
@@ -148,26 +158,57 @@ pub fn generate_hardware<R: Rng + ?Sized>(
     let start_day = config.start.days();
     let end_day = config.end.days();
     let mut out = Vec::new();
-    for rack in &fleet.racks {
-        for day in start_day..end_day {
-            let day_start = SimTime::from_days(day);
-            if !rack.is_active(day_start) {
+    for day in start_day..end_day {
+        let day_start = SimTime::from_days(day);
+        if !rack.is_active(day_start) {
+            continue;
+        }
+        let conditions = env.daily_mean(rack.dc, rack.region, day);
+        for class in ComponentClass::ALL {
+            let rate = config.hazard.rack_day_rate(rack, class, conditions, day_start);
+            if rate <= 0.0 {
                 continue;
             }
-            let conditions = env.daily_mean(rack.dc, rack.region, day);
-            for class in ComponentClass::ALL {
-                let rate = config.hazard.rack_day_rate(rack, class, conditions, day_start);
-                if rate <= 0.0 {
-                    continue;
-                }
-                let n = Poisson::new(rate).expect("rate is positive finite").sample(rng);
-                for _ in 0..n {
-                    out.push(make_hardware_ticket(rack, class, day, rng, config.end));
-                }
+            let n = Poisson::new(rate).expect("rate is positive finite").sample(rng);
+            for _ in 0..n {
+                out.push(make_hardware_ticket(rack, class, day, rng, config.end));
             }
         }
     }
     out
+}
+
+/// Generates hardware tickets for the whole observation span from one
+/// shared RNG stream (racks processed in order).
+pub fn generate_hardware<R: Rng + ?Sized>(
+    fleet: &Fleet,
+    config: &FleetConfig,
+    env: &EnvModel,
+    rng: &mut R,
+) -> Vec<RmaTicket> {
+    let mut out = Vec::new();
+    for rack in &fleet.racks {
+        out.extend(hardware_for_rack(rack, config, env, rng));
+    }
+    out
+}
+
+/// Generates hardware tickets with one seed-derived RNG stream per rack,
+/// so racks evaluate in parallel; results merge in rack order, making
+/// the stream a pure function of `seed` regardless of thread count.
+pub fn generate_hardware_par(
+    fleet: &Fleet,
+    config: &FleetConfig,
+    env: &EnvModel,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Vec<RmaTicket> {
+    let per_rack = par_map_range(parallelism, fleet.racks.len(), |rack_index| {
+        let mut rng =
+            StdRng::seed_from_u64(derive_seed(seed, STREAM_HARDWARE, rack_index as u64));
+        hardware_for_rack(&fleet.racks[rack_index], config, env, &mut rng)
+    });
+    per_rack.into_iter().flatten().collect()
 }
 
 /// Generates correlated failure bursts: rare rack-level events (PDU trips,
@@ -179,54 +220,80 @@ pub fn generate_bursts<R: Rng + ?Sized>(
     config: &FleetConfig,
     rng: &mut R,
 ) -> Vec<RmaTicket> {
+    let mut out = Vec::new();
+    for rack in &fleet.racks {
+        out.extend(bursts_for_rack(rack, config, rng));
+    }
+    out
+}
+
+/// Generates burst tickets with one seed-derived RNG stream per rack;
+/// deterministic at any thread count (see [`generate_hardware_par`]).
+pub fn generate_bursts_par(
+    fleet: &Fleet,
+    config: &FleetConfig,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Vec<RmaTicket> {
+    let per_rack = par_map_range(parallelism, fleet.racks.len(), |rack_index| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, STREAM_BURSTS, rack_index as u64));
+        bursts_for_rack(&fleet.racks[rack_index], config, &mut rng)
+    });
+    per_rack.into_iter().flatten().collect()
+}
+
+/// Burst tickets for one rack over the whole observation span.
+fn bursts_for_rack<R: Rng + ?Sized>(
+    rack: &RackInfo,
+    config: &FleetConfig,
+    rng: &mut R,
+) -> Vec<RmaTicket> {
     use rand::seq::SliceRandom;
     let start_day = config.start.days();
     let end_day = config.end.days();
     let mut out = Vec::new();
-    for rack in &fleet.racks {
-        for day in start_day..end_day {
-            let day_start = SimTime::from_days(day);
-            let rate = config.hazard.burst_rate(rack, day_start);
-            if rate <= 0.0 || rng.gen::<f64>() >= rate {
-                continue;
-            }
-            let affected = config.hazard.burst_size(rack, rng.gen::<f64>());
-            let mut servers: Vec<u32> = (0..rack.servers).collect();
-            servers.shuffle(rng);
-            let open = day_start.plus_hours(rng.gen_range(0..24));
-            let duration = LogNormal::from_median_spread(8.0, 2.0)
-                .expect("static profile is valid")
-                .sample(rng)
-                .clamp(1.0, MAX_REPAIR_HOURS) as u64;
-            // Attribution by chassis type: dense-disk racks see disk storms
-            // (vibration / backplane / firmware), compute racks see
-            // bad-DIMM-batch storms — both coverable by *component* spares,
-            // which is what makes component-level provisioning pay off
-            // (Fig. 13).
-            let disk_storm = rack.sku_spec().disks_per_server >= 8;
-            for &server_index in servers.iter().take(affected as usize) {
-                let location = rack.server_location(server_index);
-                let (fault, class) = if disk_storm {
-                    (FaultKind::Hardware(HardwareFault::Disk), ComponentClass::Disk)
-                } else {
-                    (FaultKind::Hardware(HardwareFault::Memory), ComponentClass::Dimm)
-                };
-                let jitter = rng.gen_range(0..3);
-                let resolved = SimTime(
-                    (open.hours() + duration + jitter)
-                        .min(config.end.hours())
-                        .max(open.hours() + 1),
-                );
-                out.push(RmaTicket {
-                    device: device_id(location.server.0, class, 0),
-                    location,
-                    fault,
-                    opened: open,
-                    resolved,
-                    repeat_count: 0,
-                    false_positive: false,
-                });
-            }
+    for day in start_day..end_day {
+        let day_start = SimTime::from_days(day);
+        let rate = config.hazard.burst_rate(rack, day_start);
+        if rate <= 0.0 || rng.gen::<f64>() >= rate {
+            continue;
+        }
+        let affected = config.hazard.burst_size(rack, rng.gen::<f64>());
+        let mut servers: Vec<u32> = (0..rack.servers).collect();
+        servers.shuffle(rng);
+        let open = day_start.plus_hours(rng.gen_range(0..24));
+        let duration = LogNormal::from_median_spread(8.0, 2.0)
+            .expect("static profile is valid")
+            .sample(rng)
+            .clamp(1.0, MAX_REPAIR_HOURS) as u64;
+        // Attribution by chassis type: dense-disk racks see disk storms
+        // (vibration / backplane / firmware), compute racks see
+        // bad-DIMM-batch storms — both coverable by *component* spares,
+        // which is what makes component-level provisioning pay off
+        // (Fig. 13).
+        let disk_storm = rack.sku_spec().disks_per_server >= 8;
+        for &server_index in servers.iter().take(affected as usize) {
+            let location = rack.server_location(server_index);
+            let (fault, class) = if disk_storm {
+                (FaultKind::Hardware(HardwareFault::Disk), ComponentClass::Disk)
+            } else {
+                (FaultKind::Hardware(HardwareFault::Memory), ComponentClass::Dimm)
+            };
+            let jitter = rng.gen_range(0..3u64);
+            let resolved = SimTime(
+                (open.hours() + duration + jitter)
+                    .min(config.end.hours())
+                    .max(open.hours() + 1),
+            );
+            out.push(RmaTicket {
+                device: device_id(location.server.0, class, 0),
+                location,
+                fault,
+                opened: open,
+                resolved,
+                repeat_count: 0,
+                false_positive: false,
+            });
         }
     }
     out
@@ -241,69 +308,101 @@ pub fn generate_non_hardware<R: Rng + ?Sized>(
     hardware: &[RmaTicket],
     rng: &mut R,
 ) -> Vec<RmaTicket> {
+    let mut out = Vec::new();
+    for dc in [DcId(1), DcId(2)] {
+        out.extend(non_hardware_for_dc(fleet, config, hardware, dc, rng));
+    }
+    out
+}
+
+/// Generates non-hardware tickets with one seed-derived RNG stream per
+/// DC; deterministic at any thread count (see [`generate_hardware_par`]).
+pub fn generate_non_hardware_par(
+    fleet: &Fleet,
+    config: &FleetConfig,
+    hardware: &[RmaTicket],
+    seed: u64,
+    parallelism: Parallelism,
+) -> Vec<RmaTicket> {
+    let dcs = [DcId(1), DcId(2)];
+    let per_dc = par_map_range(parallelism, dcs.len(), |dc_index| {
+        let mut rng =
+            StdRng::seed_from_u64(derive_seed(seed, STREAM_NON_HARDWARE, dc_index as u64));
+        non_hardware_for_dc(fleet, config, hardware, dcs[dc_index], &mut rng)
+    });
+    per_dc.into_iter().flatten().collect()
+}
+
+/// Non-hardware tickets for one DC, volume-anchored to its realized
+/// hardware count.
+fn non_hardware_for_dc<R: Rng + ?Sized>(
+    fleet: &Fleet,
+    config: &FleetConfig,
+    hardware: &[RmaTicket],
+    dc: DcId,
+    rng: &mut R,
+) -> Vec<RmaTicket> {
     let start_day = config.start.days();
     let end_day = config.end.days();
     let mut out = Vec::new();
-    for dc in [DcId(1), DcId(2)] {
-        let hw_count = hardware.iter().filter(|t| t.location.dc == dc).count() as f64;
-        if hw_count == 0.0 {
-            continue;
-        }
-        let shares = table_ii_shares(dc);
-        let hw_share: f64 = shares
-            .iter()
-            .filter(|(k, _)| k.is_hardware())
-            .map(|(_, s)| s)
-            .sum();
-        // Racks sorted by commission day let us sample "a rack active on
-        // day d" in O(log n).
-        let mut racks: Vec<&RackInfo> = fleet.racks_in(dc).collect();
-        racks.sort_by_key(|r| r.commissioned_day);
-        // Day weights: active racks that day, weekday-boosted.
-        let day_weights: Vec<f64> = (start_day..end_day)
-            .map(|day| {
-                let t = SimTime::from_days(day);
-                let active =
-                    racks.partition_point(|r| r.commissioned_day <= day as i64) as f64;
-                let dow = if t.day_of_week().is_weekday() { 1.25 } else { 0.85 };
-                active * dow
-            })
-            .collect();
-        if day_weights.iter().sum::<f64>() <= 0.0 {
-            continue;
-        }
-        let day_dist = Categorical::new(&day_weights).expect("positive weights");
-        for (fault, share) in shares.into_iter().filter(|(k, _)| !k.is_hardware()) {
-            let expected = hw_count * share / hw_share;
-            let count = expected.floor() as u64
-                + u64::from(
-                    Bernoulli::new(expected.fract()).expect("fraction in [0,1]").sample(rng),
-                );
-            for _ in 0..count {
-                let day = start_day + day_dist.sample(rng) as u64;
-                let active = racks.partition_point(|r| r.commissioned_day <= day as i64);
-                if active == 0 {
-                    continue;
-                }
-                let rack = racks[rng.gen_range(0..active)];
-                let server_index = rng.gen_range(0..rack.servers);
-                let location = rack.server_location(server_index);
-                let opened = SimTime::from_days(day).plus_hours(rng.gen_range(0..24));
-                let repair = sample_repair(fault, rng);
-                let resolved = SimTime(
-                    opened.hours().saturating_add(repair).min(config.end.hours())
-                        .max(opened.hours() + 1),
-                );
-                out.push(RmaTicket {
-                    device: device_id(location.server.0, ComponentClass::ServerOther, 0),
-                    location,
-                    fault,
-                    opened,
-                    resolved,
-                    repeat_count: 0,
-                    false_positive: false,
-                });
+    let hw_count = hardware.iter().filter(|t| t.location.dc == dc).count() as f64;
+    if hw_count == 0.0 {
+        return out;
+    }
+    let shares = table_ii_shares(dc);
+    let hw_share: f64 = shares
+        .iter()
+        .filter(|(k, _)| k.is_hardware())
+        .map(|(_, s)| s)
+        .sum();
+    // Racks sorted by commission day let us sample "a rack active on
+    // day d" in O(log n).
+    let mut racks: Vec<&RackInfo> = fleet.racks_in(dc).collect();
+    racks.sort_by_key(|r| r.commissioned_day);
+    // Day weights: active racks that day, weekday-boosted.
+    let day_weights: Vec<f64> = (start_day..end_day)
+        .map(|day| {
+            let t = SimTime::from_days(day);
+            let active =
+                racks.partition_point(|r| r.commissioned_day <= day as i64) as f64;
+            let dow = if t.day_of_week().is_weekday() { 1.25 } else { 0.85 };
+            active * dow
+        })
+        .collect();
+    if day_weights.iter().sum::<f64>() <= 0.0 {
+        return out;
+    }
+    let day_dist = Categorical::new(&day_weights).expect("positive weights");
+    for (fault, share) in shares.into_iter().filter(|(k, _)| !k.is_hardware()) {
+        let expected = hw_count * share / hw_share;
+        let count = expected.floor() as u64
+            + u64::from(
+                Bernoulli::new(expected.fract()).expect("fraction in [0,1]").sample(rng),
+            );
+        for _ in 0..count {
+            let day = start_day + day_dist.sample(rng) as u64;
+            let active = racks.partition_point(|r| r.commissioned_day <= day as i64);
+            if active == 0 {
+                continue;
             }
+            let rack = racks[rng.gen_range(0..active)];
+            let server_index = rng.gen_range(0..rack.servers);
+            let location = rack.server_location(server_index);
+            let opened = SimTime::from_days(day).plus_hours(rng.gen_range(0..24));
+            let repair = sample_repair(fault, rng);
+            let resolved = SimTime(
+                opened.hours().saturating_add(repair).min(config.end.hours())
+                    .max(opened.hours() + 1),
+            );
+            out.push(RmaTicket {
+                device: device_id(location.server.0, ComponentClass::ServerOther, 0),
+                location,
+                fault,
+                opened,
+                resolved,
+                repeat_count: 0,
+                false_positive: false,
+            });
         }
     }
     out
@@ -331,7 +430,7 @@ pub fn inject_false_positives<R: Rng + ?Sized>(
         let jitter_days = rng.gen_range(0..14) as u64;
         fp.opened = SimTime((template.opened.hours() + jitter_days * 24).min(end.hours() - 1));
         // FPs close quickly: the engineer finds nothing.
-        fp.resolved = SimTime((fp.opened.hours() + rng.gen_range(1..6)).min(end.hours()));
+        fp.resolved = SimTime((fp.opened.hours() + rng.gen_range(1..6u64)).min(end.hours()));
         fp.repeat_count = 0;
         out.push(fp);
     }

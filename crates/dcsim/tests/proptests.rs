@@ -71,7 +71,7 @@ proptest! {
                 }
             }
             let burst = config.hazard.burst_rate(rack, t);
-            prop_assert!(burst.is_finite() && burst >= 0.0 && burst < 0.5);
+            prop_assert!(burst.is_finite() && (0.0..0.5).contains(&burst));
         }
     }
 

@@ -4,10 +4,16 @@
 //! SKU comparison (Q2) and environmental analysis (Q3), where the paper shows
 //! error bars.
 
-use rand::Rng;
+use rainshine_parallel::{derive_seed, par_map_range, Parallelism};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::error::ensure_sample;
 use crate::{Result, StatsError};
+
+/// Stream tag for per-replicate bootstrap seeds (see
+/// [`rainshine_parallel::derive_seed`]).
+const STREAM_BOOTSTRAP: u64 = 0xb007;
 
 /// A two-sided confidence interval with its point estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,6 +103,99 @@ where
     Ok(ConfidenceInterval { estimate, lower: stats[lo_idx], upper: stats[hi_idx], level })
 }
 
+/// [`bootstrap_ci`] with per-replicate derived seeds, evaluated in
+/// parallel.
+///
+/// Replicate `i` resamples from its own RNG seeded by
+/// `derive_seed(seed, _, i)`, and the bootstrap distribution is
+/// assembled in replicate order before sorting — so the interval is a
+/// pure function of `(data, resamples, level, seed)` and identical at
+/// every thread count. Unlike [`bootstrap_ci`], it is also independent
+/// of whatever else a shared `&mut rng` was used for.
+///
+/// # Errors
+///
+/// Same conditions as [`bootstrap_ci`].
+pub fn bootstrap_ci_seeded<F>(
+    data: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+    parallelism: Parallelism,
+    statistic: F,
+) -> Result<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    ensure_sample(data)?;
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidProbability { value: level });
+    }
+    if resamples == 0 {
+        return Err(StatsError::DegenerateDimension { what: "zero bootstrap resamples" });
+    }
+    let estimate = statistic(data);
+    let mut stats = resample_statistics(data, resamples, seed, parallelism, &statistic);
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistic produced NaN"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((alpha * resamples as f64).floor() as usize).min(resamples - 1);
+    let hi_idx = (((1.0 - alpha) * resamples as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(resamples - 1);
+    Ok(ConfidenceInterval { estimate, lower: stats[lo_idx], upper: stats[hi_idx], level })
+}
+
+/// [`bootstrap_se`] with per-replicate derived seeds, evaluated in
+/// parallel (see [`bootstrap_ci_seeded`] for the determinism contract).
+///
+/// # Errors
+///
+/// Same conditions as [`bootstrap_se`].
+pub fn bootstrap_se_seeded<F>(
+    data: &[f64],
+    resamples: usize,
+    seed: u64,
+    parallelism: Parallelism,
+    statistic: F,
+) -> Result<f64>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    ensure_sample(data)?;
+    if resamples < 2 {
+        return Err(StatsError::DegenerateDimension { what: "need at least 2 resamples" });
+    }
+    let stats = resample_statistics(data, resamples, seed, parallelism, &statistic);
+    let mut w = crate::running::Welford::new();
+    // Welford accumulation stays sequential and in replicate order so
+    // the float arithmetic is identical at every thread count.
+    for s in stats {
+        w.push(s);
+    }
+    Ok(w.summary().expect("resamples >= 2").sample_stddev())
+}
+
+/// One statistic per bootstrap replicate, in replicate order.
+fn resample_statistics<F>(
+    data: &[f64],
+    resamples: usize,
+    seed: u64,
+    parallelism: Parallelism,
+    statistic: &F,
+) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    let n = data.len();
+    par_map_range(parallelism, resamples, |replicate| {
+        let mut rng =
+            StdRng::seed_from_u64(derive_seed(seed, STREAM_BOOTSTRAP, replicate as u64));
+        let resample: Vec<f64> =
+            (0..n).map(|_| data[rng.gen_range(0..n)]).collect();
+        statistic(&resample)
+    })
+}
+
 /// Bootstrap standard error of a statistic (stddev of the bootstrap
 /// distribution).
 ///
@@ -175,6 +274,34 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let se = bootstrap_se(&data, 500, &mut rng, |s| describe::mean(s).unwrap()).unwrap();
         assert!(se > 0.0 && se < 5.0);
+    }
+
+    #[test]
+    fn seeded_bootstrap_matches_across_thread_counts() {
+        let data: Vec<f64> = (0..150).map(|i| ((i * 37) % 100) as f64).collect();
+        let stat = |s: &[f64]| describe::mean(s).unwrap();
+        let seq_ci =
+            bootstrap_ci_seeded(&data, 400, 0.95, 11, Parallelism::Sequential, stat).unwrap();
+        let seq_se = bootstrap_se_seeded(&data, 400, 11, Parallelism::Sequential, stat).unwrap();
+        for par in [Parallelism::Threads(2), Parallelism::Threads(4), Parallelism::Auto] {
+            let ci = bootstrap_ci_seeded(&data, 400, 0.95, 11, par, stat).unwrap();
+            let se = bootstrap_se_seeded(&data, 400, 11, par, stat).unwrap();
+            assert_eq!(seq_ci, ci, "{par:?}");
+            assert_eq!(seq_se, se, "{par:?}");
+        }
+        // A different seed gives a different interval.
+        let other =
+            bootstrap_ci_seeded(&data, 400, 0.95, 12, Parallelism::Sequential, stat).unwrap();
+        assert_ne!((seq_ci.lower, seq_ci.upper), (other.lower, other.upper));
+    }
+
+    #[test]
+    fn seeded_bootstrap_rejects_bad_arguments() {
+        let stat = |_: &[f64]| 0.0;
+        assert!(bootstrap_ci_seeded(&[], 10, 0.95, 0, Parallelism::Sequential, stat).is_err());
+        assert!(bootstrap_ci_seeded(&[1.0], 0, 0.95, 0, Parallelism::Sequential, stat).is_err());
+        assert!(bootstrap_ci_seeded(&[1.0], 10, 1.5, 0, Parallelism::Sequential, stat).is_err());
+        assert!(bootstrap_se_seeded(&[1.0], 1, 0, Parallelism::Sequential, stat).is_err());
     }
 
     #[test]

@@ -140,7 +140,7 @@ pub fn isotonic_regression(values: &[f64], weights: &[f64]) -> Result<Vec<f64>> 
     }
     let mut out = Vec::with_capacity(values.len());
     for (m, e) in means.iter().zip(&extent) {
-        out.extend(std::iter::repeat(*m).take(*e));
+        out.extend(std::iter::repeat_n(*m, *e));
     }
     Ok(out)
 }

@@ -339,7 +339,7 @@ mod tests {
 
     #[test]
     fn lambda_counts_per_window() {
-        let tickets = vec![ticket(1, 1, 2, 5), ticket(1, 2, 30, 31), ticket(2, 3, 2, 3)];
+        let tickets = [ticket(1, 1, 2, 5), ticket(1, 2, 30, 31), ticket(2, 3, 2, 3)];
         let refs: Vec<&RmaTicket> = tickets.iter().collect();
         let map = lambda(
             &refs,
@@ -359,7 +359,7 @@ mod tests {
 
     #[test]
     fn lambda_ignores_out_of_span() {
-        let tickets = vec![ticket(1, 1, 100, 101)];
+        let tickets = [ticket(1, 1, 100, 101)];
         let refs: Vec<&RmaTicket> = tickets.iter().collect();
         let map = lambda(
             &refs,
@@ -374,7 +374,7 @@ mod tests {
     #[test]
     fn mu_counts_devices_per_window() {
         // Two devices down during day 0; one still down on day 1.
-        let tickets = vec![ticket(1, 1, 5, 20), ticket(1, 2, 10, 30)];
+        let tickets = [ticket(1, 1, 5, 20), ticket(1, 2, 10, 30)];
         let refs: Vec<&RmaTicket> = tickets.iter().collect();
         let map = mu(
             &refs,
@@ -395,7 +395,7 @@ mod tests {
         // Non-overlapping outages in one day: both devices count at daily
         // granularity (2 spares needed for the day) but hourly windows see
         // at most one at a time (Fig. 12's multiplexing).
-        let tickets = vec![ticket(1, 1, 1, 3), ticket(1, 2, 10, 12)];
+        let tickets = [ticket(1, 1, 1, 3), ticket(1, 2, 10, 12)];
         let refs: Vec<&RmaTicket> = tickets.iter().collect();
         let daily = mu(
             &refs,
@@ -420,7 +420,7 @@ mod tests {
     #[test]
     fn mu_dedupes_same_device_within_window() {
         // The same device failing twice in one day needs one spare.
-        let tickets = vec![ticket(1, 1, 1, 3), ticket(1, 1, 10, 12)];
+        let tickets = [ticket(1, 1, 1, 3), ticket(1, 1, 10, 12)];
         let refs: Vec<&RmaTicket> = tickets.iter().collect();
         let daily = mu(
             &refs,
@@ -435,7 +435,7 @@ mod tests {
 
     #[test]
     fn peak_concurrency_ignores_non_overlap() {
-        let tickets = vec![ticket(1, 1, 1, 3), ticket(1, 2, 10, 12)];
+        let tickets = [ticket(1, 1, 1, 3), ticket(1, 2, 10, 12)];
         let refs: Vec<&RmaTicket> = tickets.iter().collect();
         let daily = peak_concurrency(
             &refs,
@@ -450,7 +450,7 @@ mod tests {
 
     #[test]
     fn mu_instant_ticket_occupies_opening_window() {
-        let tickets = vec![ticket(1, 1, 5, 5)];
+        let tickets = [ticket(1, 1, 5, 5)];
         let refs: Vec<&RmaTicket> = tickets.iter().collect();
         let map = mu(
             &refs,

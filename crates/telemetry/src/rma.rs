@@ -260,12 +260,10 @@ mod tests {
 
     #[test]
     fn category_breakdown_percentages() {
-        let tickets = vec![
-            ticket(FaultKind::Hardware(HardwareFault::Disk), 0, 1, false),
+        let tickets = [ticket(FaultKind::Hardware(HardwareFault::Disk), 0, 1, false),
             ticket(FaultKind::Hardware(HardwareFault::Disk), 0, 1, false),
             ticket(FaultKind::Software(SoftwareFault::Timeout), 0, 1, false),
-            ticket(FaultKind::Boot(BootFault::Pxe), 0, 1, false),
-        ];
+            ticket(FaultKind::Boot(BootFault::Pxe), 0, 1, false)];
         let refs: Vec<&RmaTicket> = tickets.iter().collect();
         let rows = category_breakdown(&refs);
         assert_eq!(rows[0].0, FaultKind::Hardware(HardwareFault::Disk));

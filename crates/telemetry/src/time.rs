@@ -77,7 +77,7 @@ impl fmt::Display for DayOfWeek {
 }
 
 fn is_leap(year: u16) -> bool {
-    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
 }
 
 fn days_in_year(year: u16) -> u64 {

