@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# Local CI gate: release build, full test suite, lint-clean clippy.
-# Run from the repository root. Fails fast on the first broken step.
+# Local CI gate: formatting, release build, full test suite, lint-clean
+# clippy. Run from the repository root. Fails fast on the first broken step.
 set -eu
 
+cargo fmt --check
 cargo build --release --workspace
 cargo test --workspace -q
 cargo clippy --workspace --all-targets -- -D warnings

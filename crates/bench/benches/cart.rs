@@ -58,10 +58,9 @@ fn bench_nominal_search_ablation(c: &mut Criterion) {
     let table = synthetic_table(10_000);
     let ds = CartDataset::regression(&table, "y", &["k"]).unwrap();
     let mut group = c.benchmark_group("nominal_search");
-    for (name, search) in [
-        ("ordered", NominalSearch::OrderedByResponse),
-        ("exhaustive", NominalSearch::Exhaustive),
-    ] {
+    for (name, search) in
+        [("ordered", NominalSearch::OrderedByResponse), ("exhaustive", NominalSearch::Exhaustive)]
+    {
         let mut params = CartParams::default().with_min_sizes(100, 50);
         params.nominal_search = search;
         group.bench_function(name, |b| b.iter(|| Tree::fit(&ds, &params).unwrap()));

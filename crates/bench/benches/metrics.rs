@@ -37,9 +37,7 @@ fn bench_mu_granularity_ablation(c: &mut Criterion) {
         ("weekly", TimeGranularity::Weekly),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &granularity, |b, &g| {
-            b.iter(|| {
-                mu(&tickets, SpatialGranularity::Rack, g, out.config.start, out.config.end)
-            })
+            b.iter(|| mu(&tickets, SpatialGranularity::Rack, g, out.config.start, out.config.end))
         });
     }
     group.finish();
@@ -71,9 +69,7 @@ fn bench_spatial_granularities(c: &mut Criterion) {
         ("server", SpatialGranularity::Server),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &spatial, |b, &s| {
-            b.iter(|| {
-                lambda(&tickets, s, TimeGranularity::Daily, out.config.start, out.config.end)
-            })
+            b.iter(|| lambda(&tickets, s, TimeGranularity::Daily, out.config.start, out.config.end))
         });
     }
     group.finish();

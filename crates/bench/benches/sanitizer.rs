@@ -1,0 +1,35 @@
+//! Ingestion-sanitizer throughput: the cost of running the full quality
+//! pipeline (dedup, interval repair, location repair, censor imputation)
+//! over a medium fleet's year of tickets — clean, and with the documented
+//! dirty-data profile injected.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rainshine_dcsim::{CorruptionConfig, FleetConfig, Simulation, SimulationOutput};
+use rainshine_telemetry::quality::{Sanitizer, SanitizerConfig};
+
+fn sim(corruption: CorruptionConfig) -> SimulationOutput {
+    let mut config = FleetConfig::medium();
+    config.corruption = corruption;
+    Simulation::new(config, 42).run()
+}
+
+fn bench_sanitizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sanitizer");
+    for (name, corruption) in [
+        ("clean", CorruptionConfig::default()),
+        ("dirty_default", CorruptionConfig::dirty_default()),
+    ] {
+        let out = sim(corruption);
+        let sanitizer = Sanitizer::new(
+            out.fleet.manifest(),
+            SanitizerConfig::for_span(out.config.start, out.config.end),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &out, |b, out| {
+            b.iter(|| sanitizer.sanitize(&out.tickets))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sanitizer);
+criterion_main!(benches);

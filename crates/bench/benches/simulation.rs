@@ -55,9 +55,7 @@ fn bench_hazard_eval(c: &mut Criterion) {
 fn bench_full_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation_run");
     group.sample_size(10);
-    for (name, config) in
-        [("small", FleetConfig::small()), ("medium", FleetConfig::medium())]
-    {
+    for (name, config) in [("small", FleetConfig::small()), ("medium", FleetConfig::medium())] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
             b.iter(|| Simulation::new(config.clone(), 42).run())
         });

@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! experiments [--scale small|medium|paper] [--seed N] [--out DIR] [--only ID[,ID...]]
-//!             [--threads N|auto]
+//!             [--threads N|auto] [--corrupt RATE] [--corrupt-spec k=v,...]
 //! ```
 //!
 //! `--threads` controls the worker-thread count of the parallel stages
 //! (simulation ticket generation; `auto`/`0` = one per core, `1` =
 //! sequential). Results are bit-identical for every setting.
+//!
+//! `--corrupt RATE` / `--corrupt-spec k=v,...` inject dirty data before the
+//! ingestion pipeline runs; the data-quality report is printed to stderr so
+//! corruption scenarios are reproducible from the CLI.
 //!
 //! Writes one CSV per artifact into the output directory (default
 //! `results/`) and prints a preview of each.
@@ -16,6 +20,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rainshine_bench::{run_experiment, ExperimentContext, Scale, ALL_EXPERIMENTS};
+use rainshine_dcsim::CorruptionConfig;
 use rainshine_parallel::Parallelism;
 
 struct Args {
@@ -24,6 +29,7 @@ struct Args {
     out: PathBuf,
     only: Option<Vec<String>>,
     threads: Parallelism,
+    corruption: CorruptionConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,22 +39,18 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("results"),
         only: None,
         threads: Parallelism::Auto,
+        corruption: CorruptionConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--scale" => {
                 let v = value("--scale")?;
-                args.scale =
-                    Scale::parse(&v).ok_or_else(|| format!("unknown scale `{v}`"))?;
+                args.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale `{v}`"))?;
             }
             "--seed" => {
-                args.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("bad seed: {e}"))?;
+                args.seed = value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?;
             }
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--only" => {
@@ -56,12 +58,19 @@ fn parse_args() -> Result<Args, String> {
                     Some(value("--only")?.split(',').map(|s| s.trim().to_owned()).collect());
             }
             "--threads" => args.threads = Parallelism::from_flag(&value("--threads")?)?,
+            "--corrupt" => {
+                let rate: f64 =
+                    value("--corrupt")?.parse().map_err(|e| format!("bad corruption rate: {e}"))?;
+                args.corruption = CorruptionConfig::with_total_rate(rate);
+            }
+            "--corrupt-spec" => {
+                args.corruption = CorruptionConfig::parse_spec(&value("--corrupt-spec")?)?;
+            }
             "--help" | "-h" => {
-                return Err(
-                    "usage: experiments [--scale small|medium|paper] [--seed N] \
-                     [--out DIR] [--only ID[,ID...]] [--threads N|auto]"
-                        .to_owned(),
-                );
+                return Err("usage: experiments [--scale small|medium|paper] [--seed N] \
+                     [--out DIR] [--only ID[,ID...]] [--threads N|auto] \
+                     [--corrupt RATE] [--corrupt-spec k=v,...]"
+                    .to_owned());
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
@@ -86,13 +95,21 @@ fn main() -> ExitCode {
         args.scale, args.seed, args.threads
     );
     let t0 = std::time::Instant::now();
-    let mut ctx = ExperimentContext::new_with_parallelism(args.scale, args.seed, args.threads);
+    let mut ctx = ExperimentContext::new_with_corruption(
+        args.scale,
+        args.seed,
+        args.threads,
+        args.corruption,
+    );
     eprintln!(
         "simulated {} racks, {} tickets in {:.1?}\n",
         ctx.output.fleet.racks.len(),
         ctx.output.tickets.len(),
         t0.elapsed()
     );
+    if ctx.output.config.corruption.is_enabled() {
+        eprintln!("{}\n", ctx.output.quality);
+    }
     let mut failures = 0;
     for id in &ids {
         let t = std::time::Instant::now();

@@ -3,22 +3,30 @@
 //!
 //! ```text
 //! simulate [--scale small|medium|paper] [--seed N] [--out DIR] [--threads N|auto]
+//!          [--corrupt RATE] [--corrupt-spec k=v,...]
 //! ```
 //!
 //! `--threads` controls how many worker threads the simulator's per-rack
 //! generation loops use (`auto`/`0` = one per core, `1` = sequential).
 //! The output is bit-identical for every setting.
 //!
-//! Writes `fleet.csv` (rack inventory), `tickets.csv` (the RMA stream,
-//! false positives flagged), `environment.csv` (daily mean inlet conditions
-//! per DC-region), and `manifest.json` (config + counts).
+//! `--corrupt RATE` injects dirty data at the given total ticket-defect
+//! rate (see [`rainshine_dcsim::CorruptionConfig::with_total_rate`]);
+//! `--corrupt-spec` sets per-class rates explicitly
+//! (`duplicate=0.02,blackout_windows=1,...`). With corruption enabled the
+//! data-quality report is printed to stderr and written to the manifest.
+//!
+//! Writes `fleet.csv` (rack inventory), `tickets.csv` (the sanitized RMA
+//! stream, false positives flagged), `environment.csv` (daily ingested
+//! inlet conditions per DC-region; blacked-out cells are `nan`), and
+//! `manifest.json` (config + counts + quality report).
 
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rainshine_bench::Scale;
-use rainshine_dcsim::Simulation;
+use rainshine_dcsim::{CorruptionConfig, Simulation};
 use rainshine_parallel::Parallelism;
 use rainshine_telemetry::ids::{DcId, RegionId};
 
@@ -27,11 +35,10 @@ fn main() -> ExitCode {
     let mut seed = 42u64;
     let mut out = PathBuf::from("dataset");
     let mut threads = Parallelism::Auto;
+    let mut corruption = CorruptionConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("missing value for {name}"));
         let result: Result<(), String> = (|| {
             match flag.as_str() {
                 "--scale" => {
@@ -41,9 +48,17 @@ fn main() -> ExitCode {
                 "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
                 "--out" => out = PathBuf::from(value("--out")?),
                 "--threads" => threads = Parallelism::from_flag(&value("--threads")?)?,
+                "--corrupt" => {
+                    let rate: f64 = value("--corrupt")?.parse().map_err(|e| format!("{e}"))?;
+                    corruption = CorruptionConfig::with_total_rate(rate);
+                }
+                "--corrupt-spec" => {
+                    corruption = CorruptionConfig::parse_spec(&value("--corrupt-spec")?)?;
+                }
                 "--help" | "-h" => {
                     return Err("usage: simulate [--scale small|medium|paper] [--seed N] \
-                                [--out DIR] [--threads N|auto]"
+                                [--out DIR] [--threads N|auto] [--corrupt RATE] \
+                                [--corrupt-spec k=v,...]"
                         .into())
                 }
                 other => return Err(format!("unknown flag `{other}`")),
@@ -62,8 +77,12 @@ fn main() -> ExitCode {
         Scale::Paper => rainshine_dcsim::FleetConfig::paper_scale(),
     };
     config.parallelism = threads;
+    config.corruption = corruption;
     eprintln!("simulating ({scale:?}, seed {seed}, {threads:?}) ...");
     let output = Simulation::new(config, seed).run();
+    if output.config.corruption.is_enabled() {
+        eprintln!("{}", output.quality);
+    }
     if let Err(e) = write_dataset(&output, &out) {
         eprintln!("failed to write dataset: {e}");
         return ExitCode::FAILURE;
@@ -77,10 +96,7 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn write_dataset(
-    output: &rainshine_dcsim::SimulationOutput,
-    dir: &PathBuf,
-) -> std::io::Result<()> {
+fn write_dataset(output: &rainshine_dcsim::SimulationOutput, dir: &PathBuf) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
 
     // Rack inventory.
@@ -129,13 +145,14 @@ fn write_dataset(
     }
     fs::write(dir.join("tickets.csv"), tickets)?;
 
-    // Daily environment per DC-region.
+    // Daily ingested environment per DC-region (winsorized spikes, NaN
+    // blackouts); identical to the raw sensor stream on clean runs.
     let mut env = String::from("dc,region,day,temp_f,rh\n");
     for dc_env in output.env.datacenters() {
         let regions = dc_env.region_temp_offsets.len() as u8;
         for region in 1..=regions {
             for day in output.config.start.days()..output.config.end.days() {
-                let c = output.env.daily_mean(DcId(dc_env.dc.0), RegionId(region), day);
+                let c = output.ingested_daily_env(DcId(dc_env.dc.0), RegionId(region), day);
                 env.push_str(&format!(
                     "{},{},{},{:.2},{:.2}\n",
                     dc_env.dc, region, day, c.temp_f, c.rh
@@ -156,6 +173,8 @@ fn write_dataset(
         "true_positives": output.true_positives().len(),
         "hardware_tickets": output.hardware_tickets().len(),
         "hazard": output.config.hazard,
+        "corruption": output.config.corruption,
+        "quality": output.quality,
     });
     fs::write(dir.join("manifest.json"), serde_json::to_string_pretty(&manifest)?)?;
     Ok(())

@@ -28,8 +28,8 @@ use rainshine_telemetry::time::TimeGranularity;
 /// the negative-control ablations `a1`–`a3` (disable one planted effect,
 /// verify the analysis stops finding it).
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10",
-    "f11", "f12", "f13", "f14", "f15", "f16", "f17", "f18", "p1", "p2", "a1", "a2", "a3",
+    "t1", "t2", "t3", "t4", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11",
+    "f12", "f13", "f14", "f15", "f16", "f17", "f18", "p1", "p2", "a1", "a2", "a3",
 ];
 
 /// Fleet scale for an experiment run.
@@ -86,8 +86,27 @@ impl ExperimentContext {
         seed: u64,
         parallelism: rainshine_parallel::Parallelism,
     ) -> Self {
+        Self::new_with_corruption(
+            scale,
+            seed,
+            parallelism,
+            rainshine_dcsim::CorruptionConfig::default(),
+        )
+    }
+
+    /// Runs the simulation with a dirty-data injection profile. The injected
+    /// defects are sanitized by the ingestion pipeline before any experiment
+    /// sees the tickets; `output.quality` reports what was repaired or
+    /// quarantined.
+    pub fn new_with_corruption(
+        scale: Scale,
+        seed: u64,
+        parallelism: rainshine_parallel::Parallelism,
+        corruption: rainshine_dcsim::CorruptionConfig,
+    ) -> Self {
         let mut config = scale.config();
         config.parallelism = parallelism;
+        config.corruption = corruption;
         ExperimentContext {
             output: Simulation::new(config, seed).run(),
             scale,
@@ -151,9 +170,7 @@ fn write_csv(dir: &Path, id: &str, header: &str, rows: &[String]) -> std::io::Re
 }
 
 fn series_csv(rows: &[SeriesRow]) -> Vec<String> {
-    rows.iter()
-        .map(|r| format!("{},{:.6},{:.6},{}", r.label, r.mean, r.sd, r.n))
-        .collect()
+    rows.iter().map(|r| format!("{},{:.6},{:.6},{}", r.label, r.mean, r.sd, r.n)).collect()
 }
 
 fn series_preview(title: &str, rows: &[SeriesRow]) -> String {
@@ -215,13 +232,7 @@ fn t1(ctx: &mut ExperimentContext, dir: &Path) -> Result<String, ExperimentError
         .datacenters
         .iter()
         .map(|d| {
-            format!(
-                "{},{},{} nines,{}",
-                d.id,
-                d.packaging,
-                d.availability_nines,
-                d.cooling.name()
-            )
+            format!("{},{},{} nines,{}", d.id, d.packaging, d.availability_nines, d.cooling.name())
         })
         .collect();
     write_csv(dir, "t1", "facility,packaging,design_availability,cooling", &rows)?;
@@ -343,7 +354,8 @@ fn f10(
 
 fn f11(ctx: &mut ExperimentContext, dir: &Path, id: &str) -> Result<String, ExperimentError> {
     let mut rows = Vec::new();
-    let mut preview = String::from("Fig 1/11 — per-cluster over-provision CDFs (100% SLA, daily)\n");
+    let mut preview =
+        String::from("Fig 1/11 — per-cluster over-provision CDFs (100% SLA, daily)\n");
     for workload in [Workload::W1, Workload::W6] {
         let r = provisioning_for(ctx, workload, 1.0, TimeGranularity::Daily)?;
         let _ = writeln!(
@@ -381,9 +393,7 @@ fn f13(ctx: &mut ExperimentContext, dir: &Path) -> Result<String, ExperimentErro
         String::from("Fig 13 — spare cost, % of fleet server cost (100% SLA, daily)\n");
     for workload in [Workload::W1, Workload::W6] {
         let r = q1::provision_components(&ctx.output, workload, &params)?;
-        for (level, triple) in
-            [("component", &r.component_level), ("server", &r.server_level)]
-        {
+        for (level, triple) in [("component", &r.component_level), ("server", &r.server_level)] {
             let lb = r.as_pct_of_fleet_cost(triple.lb);
             let mf = r.as_pct_of_fleet_cost(triple.mf);
             let sf = r.as_pct_of_fleet_cost(triple.sf);
@@ -531,12 +541,9 @@ fn f18(ctx: &mut ExperimentContext, dir: &Path) -> Result<String, ExperimentErro
             r.rh_threshold,
             r.discovered.len()
         );
-        for (group, g) in [
-            ("T<=T*", &r.cool),
-            ("T>T*", &r.hot),
-            ("T>T*+RH<RH*", &r.hot_dry),
-            ("All", &r.all),
-        ] {
+        for (group, g) in
+            [("T<=T*", &r.cool), ("T>T*", &r.hot), ("T>T*+RH<RH*", &r.hot_dry), ("All", &r.all)]
+        {
             let norm = g.mean / anchor;
             rows.push(format!("{},{group},{:.4},{:.4},{}", r.dc, norm, g.sd / anchor, g.n));
             let _ = writeln!(preview, "    {group:<14} {norm:6.3} (n={})", g.n);
@@ -559,20 +566,18 @@ fn p1(ctx: &mut ExperimentContext, dir: &Path) -> Result<String, ExperimentError
     let config = PredictionConfig::default();
     let r = predict_failures(&ctx.output, &config)?;
     let c = &r.confusion;
-    let rows = vec![
-        format!(
-            "balanced,{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
-            c.true_positives,
-            c.false_positives,
-            c.true_negatives,
-            c.false_negatives,
-            c.precision(),
-            c.recall(),
-            c.f1(),
-            c.base_rate(),
-            c.lift()
-        ),
-    ];
+    let rows = vec![format!(
+        "balanced,{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+        c.true_positives,
+        c.false_positives,
+        c.true_negatives,
+        c.false_negatives,
+        c.precision(),
+        c.recall(),
+        c.f1(),
+        c.base_rate(),
+        c.lift()
+    )];
     let mut preview = format!(
         "P1 — failure prediction (horizon {}d, balanced training)
   precision {:.3}           recall {:.3}  F1 {:.3}  base rate {:.3}  lift {:.2}x
@@ -592,10 +597,8 @@ fn p1(ctx: &mut ExperimentContext, dir: &Path) -> Result<String, ExperimentError
             .join(", ")
     );
     // Unbalanced ablation in the same artifact (the paper's warning).
-    let unbalanced = predict_failures(
-        &ctx.output,
-        &PredictionConfig { downsample_ratio: None, ..config },
-    )?;
+    let unbalanced =
+        predict_failures(&ctx.output, &PredictionConfig { downsample_ratio: None, ..config })?;
     let u = &unbalanced.confusion;
     let mut rows = rows;
     rows.push(format!(
@@ -629,9 +632,8 @@ fn p2(ctx: &mut ExperimentContext, dir: &Path) -> Result<String, ExperimentError
     let caps = [72.0, 74.0, 76.0, 78.0, 80.0, 82.0, f64::INFINITY];
     let rows_data = setpoint_tradeoff(&dc1, &caps, &model, &cart)?;
     let mut rows = Vec::new();
-    let mut preview = String::from(
-        "P2 — DC1 temperature set-point trade-off (cooling OpEx vs disk failures)\n",
-    );
+    let mut preview =
+        String::from("P2 — DC1 temperature set-point trade-off (cooling OpEx vs disk failures)\n");
     for r in &rows_data {
         let cap = if r.cap_f.is_finite() { format!("{:.0}", r.cap_f) } else { "none".into() };
         rows.push(format!(
@@ -696,21 +698,12 @@ fn ablation(dir: &Path, id: &str, kind: AblationKind) -> Result<String, Experime
     let output = Simulation::new(ablated_config(kind), 42).run();
     match kind {
         AblationKind::EnvironmentOff => {
-            let disk = rack_day_table(
-                &output,
-                FaultFilter::Component(HardwareFault::Disk),
-                1,
-            )?;
+            let disk = rack_day_table(&output, FaultFilter::Component(HardwareFault::Disk), 1)?;
             let cart = CartParams::default().with_min_sizes(400, 200).with_cp(0.002);
             let dc1 = q3::dc_subset(&disk, "DC1")?;
             let r = q3::env_analysis("DC1", &dc1, &cart)?;
             let ratio = if r.hot.n > 0 { r.hot.mean / r.cool.mean.max(1e-12) } else { 1.0 };
-            let rows = vec![format!(
-                "env_off,{},{:.4},{}",
-                r.discovered.len(),
-                ratio,
-                r.hot.n
-            )];
+            let rows = vec![format!("env_off,{},{:.4},{}", r.discovered.len(), ratio, r.hot.n)];
             write_csv(dir, id, "ablation,env_rules_found,hot_cool_ratio,hot_n", &rows)?;
             Ok(format!(
                 "A1 — environment effects disabled (negative control)

@@ -75,10 +75,7 @@ impl fmt::Display for CartError {
                 write!(f, "prediction table lacks feature `{name}`")
             }
             CartError::ColumnKindMismatch { feature, expected, found } => {
-                write!(
-                    f,
-                    "feature `{feature}` is {found} but the fitted rule expects {expected}"
-                )
+                write!(f, "feature `{feature}` is {found} but the fitted rule expects {expected}")
             }
         }
     }

@@ -255,8 +255,7 @@ impl Forest {
                 mse += (p - y[row]).powi(2);
             }
             mse /= n as f64;
-            let importance =
-                ((mse - base_mse) / base_mse.max(f64::MIN_POSITIVE)).max(0.0);
+            let importance = ((mse - base_mse) / base_mse.max(f64::MIN_POSITIVE)).max(0.0);
             Ok((feature.clone(), importance))
         });
         let mut out = scores.into_iter().collect::<Result<Vec<_>>>()?;
@@ -285,8 +284,7 @@ impl Forest {
                     sum += node.prediction;
                     break;
                 };
-                let effective_row =
-                    if rule.feature() == feature { source_row } else { row };
+                let effective_row = if rule.feature() == feature { source_row } else { row };
                 let goes_left = rule.try_goes_left(&columns[rule.feature()], effective_row)?;
                 id = if goes_left {
                     node.left.expect("split node has left child")
@@ -399,12 +397,8 @@ mod tests {
         }
         // Permutation importance is per-feature seeded, so it is also
         // invariant to thread count.
-        let a = sequential
-            .permutation_importance_with(&ds, 11, Parallelism::Sequential)
-            .unwrap();
-        let b = sequential
-            .permutation_importance_with(&ds, 11, Parallelism::Threads(4))
-            .unwrap();
+        let a = sequential.permutation_importance_with(&ds, 11, Parallelism::Sequential).unwrap();
+        let b = sequential.permutation_importance_with(&ds, 11, Parallelism::Threads(4)).unwrap();
         assert_eq!(a, b);
     }
 
@@ -439,9 +433,6 @@ mod tests {
         }
         let t = b.build();
         let ds = CartDataset::classification(&t, "c", &["x"]).unwrap();
-        assert!(matches!(
-            Forest::fit(&ds, &forest_params()),
-            Err(CartError::TargetKind { .. })
-        ));
+        assert!(matches!(Forest::fit(&ds, &forest_params()), Err(CartError::TargetKind { .. })));
     }
 }

@@ -106,7 +106,10 @@ fn walk_with_override(
     }
 }
 
-fn resolve_columns<'t>(tree: &Tree, table: &'t Table) -> Result<HashMap<&'t str, FeatureColumn<'t>>>
+fn resolve_columns<'t>(
+    tree: &Tree,
+    table: &'t Table,
+) -> Result<HashMap<&'t str, FeatureColumn<'t>>>
 where
 {
     let mut map = HashMap::new();
@@ -506,7 +509,12 @@ fn stratified_effect_impl(
     }
     let out_cells = cells
         .iter()
-        .map(|c| StratumCell { stratum: c.stratum, level: c.level, mean: c.z.exp(), n: c.w as usize })
+        .map(|c| StratumCell {
+            stratum: c.stratum,
+            level: c.level,
+            mean: c.z.exp(),
+            n: c.w as usize,
+        })
         .collect();
     Ok(StratifiedEffect { levels, strata: agg.len(), cells: out_cells })
 }
@@ -585,12 +593,8 @@ mod tests {
             let sku = if high_z == (i % 4 != 0) { "bad" } else { "good" };
             let base = if high_z { 8.0 } else { 1.0 };
             let factor = if sku == "bad" { 2.0 } else { 1.0 };
-            b.push_row(vec![
-                Value::Continuous(z),
-                sku.into(),
-                Value::Continuous(base * factor),
-            ])
-            .unwrap();
+            b.push_row(vec![Value::Continuous(z), sku.into(), Value::Continuous(base * factor)])
+                .unwrap();
         }
         b.build()
     }
@@ -599,8 +603,7 @@ mod tests {
     fn stratified_effect_deconfounds_sku() {
         let t = confounded_table();
         let params = CartParams::default().with_min_sizes(10, 5);
-        let eff =
-            stratified_effect_nominal(&t, "y", "sku", &["z"], &params).unwrap();
+        let eff = stratified_effect_nominal(&t, "y", "sku", &["z"], &params).unwrap();
         assert_eq!(eff.levels.len(), 2);
         let bad = eff.levels.iter().find(|l| l.level == "bad").unwrap();
         let good = eff.levels.iter().find(|l| l.level == "good").unwrap();

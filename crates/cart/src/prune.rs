@@ -137,11 +137,7 @@ impl CvResult {
             .min_by(|a, b| a.error.partial_cmp(&b.error).expect("finite cv error"));
         let Some(best) = best else { return 0.0 };
         let limit = best.error + best.se;
-        self.points
-            .iter()
-            .filter(|p| p.error <= limit)
-            .map(|p| p.cp)
-            .fold(best.cp, f64::max)
+        self.points.iter().filter(|p| p.error <= limit).map(|p| p.cp).fold(best.cp, f64::max)
     }
 }
 
@@ -151,18 +147,13 @@ fn holdout_error(tree: &Tree, dataset: &CartDataset<'_>, rows: &[usize]) -> Resu
     let sub = dataset.table().subset(rows);
     let preds = tree.predict(&sub)?;
     match dataset.target() {
-        crate::dataset::Target::Regression(y) => Ok(rows
-            .iter()
-            .zip(&preds)
-            .map(|(&r, p)| (y[r] - p).powi(2))
-            .sum()),
+        crate::dataset::Target::Regression(y) => {
+            Ok(rows.iter().zip(&preds).map(|(&r, p)| (y[r] - p).powi(2)).sum())
+        }
         crate::dataset::Target::Classification { codes, .. } => {
             debug_assert_eq!(tree.kind(), TreeKind::Classification);
-            Ok(rows
-                .iter()
-                .zip(&preds)
-                .filter(|(&r, p)| codes[r] as usize != **p as usize)
-                .count() as f64)
+            Ok(rows.iter().zip(&preds).filter(|(&r, p)| codes[r] as usize != **p as usize).count()
+                as f64)
         }
     }
 }
@@ -212,8 +203,7 @@ pub fn cross_validate(
     // fold_errors[c][f] = error of candidate c on fold f.
     let mut fold_errors = vec![Vec::with_capacity(folds); candidates.len()];
     for f in 0..folds {
-        let test: Vec<usize> =
-            rows.iter().copied().skip(f).step_by(folds).collect();
+        let test: Vec<usize> = rows.iter().copied().skip(f).step_by(folds).collect();
         let train: Vec<usize> = rows
             .iter()
             .copied()
@@ -235,8 +225,7 @@ pub fn cross_validate(
         .map(|(&cp, errs)| {
             let k = errs.len().max(1) as f64;
             let mean = errs.iter().sum::<f64>() / k;
-            let var = errs.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
-                / (k - 1.0).max(1.0);
+            let var = errs.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (k - 1.0).max(1.0);
             CvPoint { cp, error: mean * folds as f64, se: (var / k).sqrt() * folds as f64 }
         })
         .collect();
@@ -260,12 +249,8 @@ mod tests {
             let x = (i % 100) as f64;
             let noise = ((i * 2_654_435_761) % 1000) as f64 / 1000.0;
             let y = if x < 50.0 { 1.0 } else { 5.0 } + (noise - 0.5) * 0.5;
-            b.push_row(vec![
-                Value::Continuous(x),
-                Value::Continuous(noise),
-                Value::Continuous(y),
-            ])
-            .unwrap();
+            b.push_row(vec![Value::Continuous(x), Value::Continuous(noise), Value::Continuous(y)])
+                .unwrap();
         }
         b.build()
     }

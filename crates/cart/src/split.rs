@@ -23,12 +23,17 @@ use crate::params::{CartParams, NominalSearch};
 /// A fitted split rule. Rows satisfying the rule go to the **left** child.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SplitRule {
-    /// Continuous: `value <= threshold` goes left.
+    /// Continuous: `value <= threshold` goes left. NaN values (missing
+    /// telemetry, e.g. a sensor blackout) route to the majority branch
+    /// recorded at fit time.
     ContinuousThreshold {
         /// Feature name.
         feature: String,
         /// Split threshold (midpoint between adjacent observed values).
         threshold: f64,
+        /// Where rows with a NaN feature value go: the side that held the
+        /// majority of (finite) rows when the split was fitted.
+        nan_left: bool,
     },
     /// Ordinal: `level <= threshold` goes left.
     OrdinalThreshold {
@@ -75,14 +80,14 @@ impl SplitRule {
     /// not match the rule kind — this happens when a prediction table's
     /// schema drifted from the fit-time schema (same column name,
     /// different kind).
-    pub fn try_goes_left(
-        &self,
-        column: &FeatureColumn<'_>,
-        row: usize,
-    ) -> Result<bool, CartError> {
+    pub fn try_goes_left(&self, column: &FeatureColumn<'_>, row: usize) -> Result<bool, CartError> {
         match (self, column) {
-            (SplitRule::ContinuousThreshold { threshold, .. }, FeatureColumn::Continuous(v)) => {
-                Ok(v[row] <= *threshold)
+            (
+                SplitRule::ContinuousThreshold { threshold, nan_left, .. },
+                FeatureColumn::Continuous(v),
+            ) => {
+                let x = v[row];
+                Ok(if x.is_nan() { *nan_left } else { x <= *threshold })
             }
             (SplitRule::OrdinalThreshold { threshold, .. }, FeatureColumn::Ordinal(v)) => {
                 Ok(v[row] <= *threshold)
@@ -116,7 +121,7 @@ impl SplitRule {
     /// Human-readable description, e.g. `temperature_f <= 78.4`.
     pub fn describe(&self) -> String {
         match self {
-            SplitRule::ContinuousThreshold { feature, threshold } => {
+            SplitRule::ContinuousThreshold { feature, threshold, .. } => {
                 format!("{feature} <= {threshold:.4}")
             }
             SplitRule::OrdinalThreshold { feature, threshold } => {
@@ -206,11 +211,7 @@ impl RiskAcc {
                     0.0
                 } else {
                     let gini = 1.0
-                        - counts
-                            .iter()
-                            .zip(tc)
-                            .map(|(c, t)| ((t - c) / rn).powi(2))
-                            .sum::<f64>();
+                        - counts.iter().zip(tc).map(|(c, t)| ((t - c) / rn).powi(2)).sum::<f64>();
                     rn * gini
                 }
             }
@@ -268,9 +269,10 @@ pub(crate) fn best_split(
                 parent_risk,
                 params,
                 |row| values[row],
-                |left_max, right_min| SplitRule::ContinuousThreshold {
+                |left_max, right_min, nan_left| SplitRule::ContinuousThreshold {
                     feature: name.clone(),
                     threshold: (left_max + right_min) / 2.0,
+                    nan_left,
                 },
             ),
             FeatureColumn::Ordinal(values) => scan_ordered(
@@ -279,7 +281,7 @@ pub(crate) fn best_split(
                 parent_risk,
                 params,
                 |row| values[row] as f64,
-                |left_max, _| SplitRule::OrdinalThreshold {
+                |left_max, _, _| SplitRule::OrdinalThreshold {
                     feature: name.clone(),
                     threshold: left_max as i64,
                 },
@@ -303,6 +305,12 @@ pub(crate) fn best_split(
 
 /// Scans an ordered feature: sorts rows by value, sweeps prefix boundaries
 /// between distinct values.
+///
+/// Rows whose value is NaN (missing telemetry) are excluded from the
+/// scan; the candidate split's risk is then measured against the finite
+/// subpopulation only, and the rule records which side held the majority
+/// so missing rows route there at partition/prediction time. With no NaN
+/// present the arithmetic is identical to a scan over `rows` as given.
 fn scan_ordered<V, M>(
     target: &Target<'_>,
     rows: &[usize],
@@ -313,15 +321,28 @@ fn scan_ordered<V, M>(
 ) -> Option<BestSplit>
 where
     V: Fn(usize) -> f64,
-    M: Fn(f64, f64) -> SplitRule,
+    M: Fn(f64, f64, bool) -> SplitRule,
 {
-    let mut order: Vec<usize> = rows.to_vec();
-    order.sort_by(|&a, &b| value_of(a).partial_cmp(&value_of(b)).expect("finite feature"));
-    let mut total = RiskAcc::empty_like(target);
-    for &r in rows {
-        total.add_row(target, r);
+    let mut order: Vec<usize> = rows.iter().copied().filter(|&r| !value_of(r).is_nan()).collect();
+    if order.len() < 2 {
+        return None;
     }
-    let n = rows.len();
+    order.sort_by(|&a, &b| value_of(a).partial_cmp(&value_of(b)).expect("non-NaN feature"));
+    let all_finite = order.len() == rows.len();
+    let mut total = RiskAcc::empty_like(target);
+    if all_finite {
+        // Accumulate in the caller's row order so clean-data results stay
+        // bit-identical to the pre-NaN-tolerant scan.
+        for &r in rows {
+            total.add_row(target, r);
+        }
+    } else {
+        for &r in &order {
+            total.add_row(target, r);
+        }
+    }
+    let parent_risk = if all_finite { parent_risk } else { total.risk() };
+    let n = order.len();
     let mut left = RiskAcc::empty_like(target);
     let mut best: Option<(f64, usize)> = None; // (improvement, boundary index)
     for i in 0..n - 1 {
@@ -341,7 +362,7 @@ where
         }
     }
     best.map(|(improvement, i)| BestSplit {
-        rule: make_rule(value_of(order[i]), value_of(order[i + 1])),
+        rule: make_rule(value_of(order[i]), value_of(order[i + 1]), i + 1 >= n - (i + 1)),
         improvement,
     })
 }
@@ -375,7 +396,16 @@ fn scan_nominal(
     let exhaustive = params.nominal_search == NominalSearch::Exhaustive
         && per_cat.len() <= params.exhaustive_limit;
     if exhaustive {
-        scan_nominal_exhaustive(target, rows, parent_risk, params, name, codes, categories, &per_cat)
+        scan_nominal_exhaustive(
+            target,
+            rows,
+            parent_risk,
+            params,
+            name,
+            codes,
+            categories,
+            &per_cat,
+        )
     } else {
         scan_nominal_ordered(target, rows, parent_risk, params, name, codes, categories, &per_cat)
     }
@@ -633,8 +663,45 @@ mod tests {
     }
 
     #[test]
+    fn nan_rows_are_excluded_from_the_scan_and_routed_by_majority() {
+        // Step at x = 3.5 among finite rows; two NaN rows ride along.
+        let y = [0.0, 0.0, 0.0, 10.0, 10.0, 10.0, 5.0, 5.0];
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, f64::NAN, f64::NAN];
+        let t = reg_target(&y);
+        let rows: Vec<usize> = (0..8).collect();
+        let params = CartParams::default().with_min_sizes(2, 1);
+        let features = vec![("x".to_owned(), FeatureColumn::Continuous(&x))];
+        let best = best_split(&t, &features, &rows, 1e9, &params).unwrap();
+        match &best.rule {
+            SplitRule::ContinuousThreshold { threshold, nan_left, .. } => {
+                assert!((threshold - 3.5).abs() < 1e-9, "got {threshold}");
+                // 3 finite rows on each side: ties route left.
+                assert!(nan_left);
+            }
+            other => panic!("expected continuous rule, got {other:?}"),
+        }
+        let col = FeatureColumn::Continuous(&x);
+        assert!(best.rule.goes_left(&col, 6), "NaN row follows nan_left");
+    }
+
+    #[test]
+    fn all_nan_feature_yields_no_split() {
+        let y = [0.0, 1.0, 2.0, 3.0];
+        let x = [f64::NAN; 4];
+        let t = reg_target(&y);
+        let rows: Vec<usize> = (0..4).collect();
+        let features = vec![("x".to_owned(), FeatureColumn::Continuous(&x))];
+        let params = CartParams::default().with_min_sizes(2, 1);
+        assert!(best_split(&t, &features, &rows, 10.0, &params).is_none());
+    }
+
+    #[test]
     fn rule_describe_and_goes_left() {
-        let rule = SplitRule::ContinuousThreshold { feature: "t".into(), threshold: 78.0 };
+        let rule = SplitRule::ContinuousThreshold {
+            feature: "t".into(),
+            threshold: 78.0,
+            nan_left: false,
+        };
         let values = [70.0, 80.0];
         let col = FeatureColumn::Continuous(&values);
         assert!(rule.goes_left(&col, 0));

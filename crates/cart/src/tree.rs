@@ -100,11 +100,8 @@ impl Tree {
             Target::Regression(_) => Vec::new(),
             Target::Classification { classes, .. } => classes.to_vec(),
         };
-        let kind = if dataset.is_regression() {
-            TreeKind::Regression
-        } else {
-            TreeKind::Classification
-        };
+        let kind =
+            if dataset.is_regression() { TreeKind::Regression } else { TreeKind::Classification };
 
         let mut tree = Tree {
             kind,
@@ -122,10 +119,7 @@ impl Tree {
         while let Some((node_id, node_rows)) = stack.pop() {
             let depth = tree.nodes[node_id].depth;
             let risk = tree.nodes[node_id].risk;
-            if depth >= params.max_depth
-                || node_rows.len() < params.min_split
-                || risk <= 1e-12
-            {
+            if depth >= params.max_depth || node_rows.len() < params.min_split || risk <= 1e-12 {
                 continue;
             }
             let Some(split) = best_split(&target, &features, &node_rows, risk, params) else {
@@ -245,10 +239,7 @@ impl Tree {
     }
 
     /// Resolves the feature columns the tree needs from `table`.
-    fn resolve_columns<'t>(
-        &self,
-        table: &'t Table,
-    ) -> Result<HashMap<&str, FeatureColumn<'t>>> {
+    fn resolve_columns<'t>(&self, table: &'t Table) -> Result<HashMap<&str, FeatureColumn<'t>>> {
         let mut map = HashMap::new();
         for name in &self.feature_names {
             if table.schema().index_of(name).is_none() {
@@ -556,8 +547,7 @@ mod tests {
         assert_eq!(tree.classes(), &["low", "high"]);
         let preds = tree.predict(&t).unwrap();
         let codes = t.nominal_codes("c").unwrap();
-        let correct =
-            preds.iter().zip(codes).filter(|(p, &c)| **p as u32 == c).count();
+        let correct = preds.iter().zip(codes).filter(|(p, &c)| **p as u32 == c).count();
         assert_eq!(correct, 200, "perfectly separable");
     }
 
@@ -627,10 +617,8 @@ mod tests {
         let before_leaves = tree.leaf_count();
         // Collapse the root's left child if it's internal, else right.
         let root = tree.root().clone();
-        let target = [root.left, root.right]
-            .into_iter()
-            .flatten()
-            .find(|&c| !tree.nodes()[c].is_leaf());
+        let target =
+            [root.left, root.right].into_iter().flatten().find(|&c| !tree.nodes()[c].is_leaf());
         if let Some(c) = target {
             tree.collapse(c);
             tree.compact();

@@ -96,7 +96,10 @@ pub fn rack_day_table(
             if !rack.is_active(t) {
                 continue;
             }
-            let env = output.env.daily_mean(rack.dc, rack.region, day);
+            // Ingested (sanitized) environment: spikes winsorized, blackout
+            // cells NaN — the NaN-tolerant CART and the evidence series
+            // handle missing readings downstream.
+            let env = output.ingested_daily_env(rack.dc, rack.region, day);
             let count = counts.get(&(rack.id, day)).copied().unwrap_or(0) as f64;
             builder.push_row(row_values(rack, t, env.temp_f, env.rh, count))?;
             rows += 1;
@@ -144,10 +147,7 @@ fn row_values(
 /// # Errors
 ///
 /// Returns [`AnalysisError::NoData`] if no rack has a response.
-pub fn rack_table(
-    output: &SimulationOutput,
-    response: &HashMap<RackId, f64>,
-) -> Result<Table> {
+pub fn rack_table(output: &SimulationOutput, response: &HashMap<RackId, f64>) -> Result<Table> {
     let mut builder = TableBuilder::new(analysis_schema());
     let start_day = output.config.start.days() as i64;
     let end_day = output.config.end.days() as i64;
@@ -168,10 +168,14 @@ pub fn rack_table(
         let mut n = 0.0;
         let mut day = active_start as u64;
         while (day as i64) < end_day {
-            let env = output.env.daily_mean(rack.dc, rack.region, day);
-            temp += env.temp_f;
-            rh += env.rh;
-            n += 1.0;
+            let env = output.ingested_daily_env(rack.dc, rack.region, day);
+            // Skip blacked-out samples; the mean comes from the days the
+            // sensors actually reported.
+            if env.temp_f.is_finite() && env.rh.is_finite() {
+                temp += env.temp_f;
+                rh += env.rh;
+                n += 1.0;
+            }
             day += 30;
         }
         let (temp, rh) = if n > 0.0 { (temp / n, rh / n) } else { (65.0, 45.0) };
@@ -187,8 +191,8 @@ pub fn rack_table(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rainshine_telemetry::schema::columns;
     use rainshine_dcsim::{FleetConfig, Simulation};
+    use rainshine_telemetry::schema::columns;
 
     fn sim() -> SimulationOutput {
         Simulation::new(FleetConfig::small(), 11).run()
@@ -256,10 +260,7 @@ mod tests {
     #[test]
     fn rack_table_empty_response_errors() {
         let out = sim();
-        assert!(matches!(
-            rack_table(&out, &HashMap::new()),
-            Err(AnalysisError::NoData { .. })
-        ));
+        assert!(matches!(rack_table(&out, &HashMap::new()), Err(AnalysisError::NoData { .. })));
     }
 
     #[test]

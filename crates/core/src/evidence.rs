@@ -63,11 +63,15 @@ pub fn by_nominal(table: &Table, column: &str) -> Result<Vec<SeriesRow>> {
         .collect())
 }
 
-/// Groups λ by bins of a continuous column.
+/// Groups λ by bins of a continuous column. Rows whose factor value is not
+/// finite (e.g. a sensor-blackout NaN) are excluded — they cannot be
+/// assigned to a bin.
 pub fn by_binned(table: &Table, column: &str, binner: &Binner) -> Result<Vec<SeriesRow>> {
     let y = table.continuous(columns::FAILURE_RATE)?;
     let x = table.continuous(column)?;
-    let grouped = GroupedMeans::new(binner.clone(), x, y)?;
+    let (x, y): (Vec<f64>, Vec<f64>) =
+        x.iter().zip(y).filter(|(xv, _)| xv.is_finite()).map(|(xv, yv)| (*xv, *yv)).unzip();
+    let grouped = GroupedMeans::new(binner.clone(), &x, &y)?;
     Ok(grouped
         .rows()
         .into_iter()
@@ -119,18 +123,14 @@ pub fn by_region(table: &Table) -> Result<Vec<SeriesRow>> {
 /// Fig. 3 — λ by day of week for one year offset (0 = 2012).
 pub fn by_day_of_week(table: &Table, year: i64) -> Result<Vec<SeriesRow>> {
     by_ordinal(table, columns::DAY_OF_WEEK, Some(year), |lvl| {
-        DayOfWeek::ALL
-            .get(lvl as usize)
-            .map(|d| d.to_string())
-            .unwrap_or_else(|| lvl.to_string())
+        DayOfWeek::ALL.get(lvl as usize).map(|d| d.to_string()).unwrap_or_else(|| lvl.to_string())
     })
 }
 
 /// Fig. 4 — λ by month of year for one year offset (0 = 2012).
 pub fn by_month(table: &Table, year: i64) -> Result<Vec<SeriesRow>> {
-    const MONTHS: [&str; 12] = [
-        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
-    ];
+    const MONTHS: [&str; 12] =
+        ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
     by_ordinal(table, columns::MONTH, Some(year), |lvl| {
         MONTHS
             .get((lvl - 1).max(0) as usize)
@@ -162,9 +162,8 @@ pub fn by_sku(table: &Table) -> Result<Vec<SeriesRow>> {
 /// Fig. 8 — λ by rack rated power (one bin per observed kW value).
 pub fn by_power(table: &Table) -> Result<Vec<SeriesRow>> {
     // kW ratings are discrete (4–15); bin at integer boundaries.
-    let binner = Binner::from_edges(vec![
-        5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
-    ])?;
+    let binner =
+        Binner::from_edges(vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0])?;
     Ok(by_binned(table, columns::RATED_POWER_KW, &binner)?
         .into_iter()
         .filter(|r| r.n > 0)

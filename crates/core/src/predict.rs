@@ -120,10 +120,8 @@ impl Confusion {
 
     /// Overall accuracy.
     pub fn accuracy(&self) -> f64 {
-        let total = self.true_positives
-            + self.false_positives
-            + self.true_negatives
-            + self.false_negatives;
+        let total =
+            self.true_positives + self.false_positives + self.true_negatives + self.false_negatives;
         if total == 0 {
             0.0
         } else {
@@ -133,10 +131,8 @@ impl Confusion {
 
     /// Base rate of positives in the test split.
     pub fn base_rate(&self) -> f64 {
-        let total = self.true_positives
-            + self.false_positives
-            + self.true_negatives
-            + self.false_negatives;
+        let total =
+            self.true_positives + self.false_positives + self.true_negatives + self.false_negatives;
         if total == 0 {
             0.0
         } else {
@@ -236,8 +232,7 @@ fn build_prediction_table(
             let t = SimTime::from_days(day);
             if rack.is_active(t) {
                 let rel = (day - start_day) as i64;
-                let label_window =
-                    window_sum(rel + 1, rel + 1 + config.horizon_days as i64);
+                let label_window = window_sum(rel + 1, rel + 1 + config.horizon_days as i64);
                 let env = output.env.daily_mean(rack.dc, rack.region, day);
                 builder.push_row(vec![
                     Value::Nominal(rack.sku.to_string()),
@@ -288,8 +283,7 @@ pub fn predict_failures(
     let (table, day_of_row) = build_prediction_table(output, config)?;
     let start_day = output.config.start.days();
     let end_day = output.config.end.days();
-    let split_day = start_day
-        + ((end_day - start_day) as f64 * config.train_fraction) as u64;
+    let split_day = start_day + ((end_day - start_day) as f64 * config.train_fraction) as u64;
 
     let labels = table.nominal_codes(history_columns::LABEL)?;
     let classes = table.categories(history_columns::LABEL)?;
@@ -323,8 +317,8 @@ pub fn predict_failures(
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let train: Vec<usize> = match config.downsample_ratio {
         Some(ratio) => {
-            let keep = ((train_pos.len() as f64 * ratio).round() as usize)
-                .clamp(1, train_neg.len());
+            let keep =
+                ((train_pos.len() as f64 * ratio).round() as usize).clamp(1, train_neg.len());
             let mut neg = train_neg.clone();
             neg.shuffle(&mut rng);
             neg.truncate(keep);

@@ -78,10 +78,7 @@ impl ProvisionParams {
             return Err(AnalysisError::InvalidParameter { name: "sla", value: self.sla });
         }
         if !(0.0..=1.0).contains(&self.coverage) {
-            return Err(AnalysisError::InvalidParameter {
-                name: "coverage",
-                value: self.coverage,
-            });
+            return Err(AnalysisError::InvalidParameter { name: "coverage", value: self.coverage });
         }
         Ok(())
     }
@@ -168,11 +165,8 @@ pub fn rack_deficits(
     if racks.is_empty() {
         return Err(AnalysisError::NoData { what: format!("no racks host {workload}") });
     }
-    let tickets: Vec<&RmaTicket> = output
-        .hardware_tickets()
-        .into_iter()
-        .filter(|t| filter.matches(t.fault))
-        .collect();
+    let tickets: Vec<&RmaTicket> =
+        output.hardware_tickets().into_iter().filter(|t| filter.matches(t.fault)).collect();
     let mu = metrics::mu(
         &tickets,
         SpatialGranularity::Rack,
@@ -180,8 +174,7 @@ pub fn rack_deficits(
         output.config.start,
         output.config.end,
     );
-    let total_windows =
-        params.granularity.window_count(output.config.start, output.config.end);
+    let total_windows = params.granularity.window_count(output.config.start, output.config.end);
     let start_window = params.granularity.window_of(output.config.start);
     let mut out = Vec::with_capacity(racks.len());
     for rack in racks {
@@ -208,12 +201,7 @@ pub fn rack_deficits(
                     .collect()
             })
             .unwrap_or_default();
-        out.push(RackDeficits {
-            rack: rack.id,
-            servers: rack.servers,
-            active_windows,
-            deficits,
-        });
+        out.push(RackDeficits { rack: rack.id, servers: rack.servers, active_windows, deficits });
     }
     Ok(out)
 }
@@ -308,8 +296,7 @@ pub fn provision_servers(
     let leaves = tree.leaf_assignments(&table)?;
     let rack_col = table.categories(columns::RACK)?;
     let rack_codes = table.nominal_codes(columns::RACK)?;
-    let by_id: HashMap<RackId, &RackDeficits> =
-        deficits.iter().map(|r| (r.rack, r)).collect();
+    let by_id: HashMap<RackId, &RackDeficits> = deficits.iter().map(|r| (r.rack, r)).collect();
 
     let mut cluster_map: HashMap<usize, Vec<&RackDeficits>> = HashMap::new();
     for row in 0..table.rows() {
@@ -333,15 +320,13 @@ pub fn provision_servers(
             cdf: cdf_points(&per_rack_pct),
         });
     }
-    clusters.sort_by(|a, b| {
-        a.spare_fraction.partial_cmp(&b.spare_fraction).expect("finite fractions")
-    });
+    clusters
+        .sort_by(|a, b| a.spare_fraction.partial_cmp(&b.spare_fraction).expect("finite fractions"));
     for (i, c) in clusters.iter_mut().enumerate() {
         c.id = i + 1;
     }
 
-    let all_pct: Vec<f64> =
-        deficits.iter().map(|r| 100.0 * r.fraction(params.coverage)).collect();
+    let all_pct: Vec<f64> = deficits.iter().map(|r| 100.0 * r.fraction(params.coverage)).collect();
 
     Ok(ServerProvisioning {
         workload,
@@ -414,8 +399,7 @@ pub fn pooling_comparison(
     );
     let windows = params.granularity.window_count(output.config.start, output.config.end);
     let mut total_by_window: HashMap<u64, u64> = HashMap::new();
-    let rack_ids: std::collections::HashSet<RackId> =
-        deficits.iter().map(|r| r.rack).collect();
+    let rack_ids: std::collections::HashSet<RackId> = deficits.iter().map(|r| r.rack).collect();
     for rack in output.fleet.racks.iter().filter(|r| rack_ids.contains(&r.id)) {
         let allowed = ((1.0 - params.sla) * rack.servers as f64).floor() as u64;
         let key = SpatialGranularity::Rack.key(&rack.server_location(0));
@@ -487,8 +471,7 @@ fn spares_triple(
     let leaves = tree.leaf_assignments(&table)?;
     let rack_col = table.categories(columns::RACK)?;
     let rack_codes = table.nominal_codes(columns::RACK)?;
-    let by_id: HashMap<RackId, &RackDeficits> =
-        deficits.iter().map(|r| (r.rack, r)).collect();
+    let by_id: HashMap<RackId, &RackDeficits> = deficits.iter().map(|r| (r.rack, r)).collect();
     let mut cluster_map: HashMap<usize, Vec<&RackDeficits>> = HashMap::new();
     for row in 0..table.rows() {
         let label = &rack_col[rack_codes[row] as usize];
@@ -565,21 +548,14 @@ mod tests {
         let params = ProvisionParams::new(1.0, TimeGranularity::Daily);
         let r = provision_servers(&out, Workload::W1, &params).unwrap();
         assert!(r.lb.spares > 0.0, "some spares needed at 100% SLA");
-        assert!(
-            r.lb.spares <= r.mf.spares + 1e-9,
-            "LB {} <= MF {}",
-            r.lb.spares,
-            r.mf.spares
-        );
-        assert!(
-            r.mf.spares <= r.sf.spares + 1e-9,
-            "MF {} <= SF {}",
-            r.mf.spares,
-            r.sf.spares
-        );
+        assert!(r.lb.spares <= r.mf.spares + 1e-9, "LB {} <= MF {}", r.lb.spares, r.mf.spares);
+        assert!(r.mf.spares <= r.sf.spares + 1e-9, "MF {} <= SF {}", r.mf.spares, r.sf.spares);
         assert!(!r.clusters.is_empty());
         let cluster_racks: usize = r.clusters.iter().map(|c| c.racks.len()).sum();
-        assert_eq!(cluster_racks as f64, r.all_racks_cdf.last().map(|_| cluster_racks as f64).unwrap());
+        assert_eq!(
+            cluster_racks as f64,
+            r.all_racks_cdf.last().map(|_| cluster_racks as f64).unwrap()
+        );
     }
 
     #[test]
@@ -653,9 +629,7 @@ mod tests {
     #[test]
     fn shared_pool_never_needs_more_than_dedicated() {
         let out = sim();
-        for (sla, granularity) in
-            [(1.0, TimeGranularity::Daily), (0.95, TimeGranularity::Hourly)]
-        {
+        for (sla, granularity) in [(1.0, TimeGranularity::Daily), (0.95, TimeGranularity::Hourly)] {
             let params = ProvisionParams::new(sla, granularity);
             let p = pooling_comparison(&out, Workload::W6, &params).unwrap();
             assert!(

@@ -56,9 +56,7 @@ pub struct SkuReliability {
 }
 
 /// Per-rack mean failure rate and per-rack peak μ for the SKU's racks.
-fn per_rack_stats(
-    output: &SimulationOutput,
-) -> (HashMap<RackId, f64>, HashMap<RackId, f64>) {
+fn per_rack_stats(output: &SimulationOutput) -> (HashMap<RackId, f64>, HashMap<RackId, f64>) {
     let tickets = output.hardware_tickets();
     let lambda = metrics::lambda(
         &tickets,
@@ -84,8 +82,7 @@ fn per_rack_stats(
         if active_days == 0.0 {
             continue;
         }
-        let mean =
-            lambda.get(&key).map(|s| s.total() as f64 / active_days).unwrap_or(0.0);
+        let mean = lambda.get(&key).map(|s| s.total() as f64 / active_days).unwrap_or(0.0);
         let peak = mu.get(&key).map(|s| s.max() as f64).unwrap_or(0.0);
         means.insert(rack.id, mean);
         peaks.insert(rack.id, peak);
@@ -180,9 +177,8 @@ impl MfSkuComparison {
         if let Some(r) = self.avg.direct_ratio(a, b) {
             return Some(r);
         }
-        let get = |label: &str| {
-            self.avg.levels.iter().find(|l| l.level == label).map(|l| l.relative)
-        };
+        let get =
+            |label: &str| self.avg.levels.iter().find(|l| l.level == label).map(|l| l.relative);
         match (get(a), get(b)) {
             (Some(x), Some(y)) if y > 0.0 => Some(x / y),
             _ => None,
@@ -230,9 +226,8 @@ pub fn procurement_scenarios(
     let s4_spare = s4.peak_rate / servers_per_rack;
     let sf_s2_spare = s2.peak_rate / servers_per_rack;
     let mf_peak_ratio = {
-        let get = |label: &str| {
-            mf.peak.levels.iter().find(|l| l.level == label).map(|l| l.relative)
-        };
+        let get =
+            |label: &str| mf.peak.levels.iter().find(|l| l.level == label).map(|l| l.relative);
         match (get("S2"), get("S4")) {
             (Some(a), Some(b)) if b > 0.0 => a / b,
             _ => sf_ratio,
@@ -287,10 +282,7 @@ mod tests {
         let cart = CartParams::default().with_min_sizes(100, 50).with_cp(0.0005);
         let mf = mf_comparison(&out, &table, &cart).unwrap();
         let ratio = mf.avg_ratio("S2", "S4").expect("both SKUs present");
-        assert!(
-            (2.8..5.5).contains(&ratio),
-            "MF ratio {ratio} should be near the intrinsic 4x"
-        );
+        assert!((2.8..5.5).contains(&ratio), "MF ratio {ratio} should be near the intrinsic 4x");
         // MF variance contraction vs SF (the paper's ~50% drop) is checked
         // at paper scale in the integration tests.
     }

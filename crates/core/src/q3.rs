@@ -9,8 +9,8 @@
 
 use rainshine_cart::dataset::CartDataset;
 use rainshine_cart::params::CartParams;
-use rainshine_cart::SplitRule;
 use rainshine_cart::tree::Tree;
+use rainshine_cart::SplitRule;
 use rainshine_stats::hist::Binner;
 use rainshine_telemetry::schema::columns;
 use rainshine_telemetry::table::{FeatureKind, Field, Schema, Table, TableBuilder, Value};
@@ -56,20 +56,23 @@ pub fn disk_rate_by_temperature(
         return Err(AnalysisError::InvalidParameter { name: "day_stride", value: 0.0 });
     }
     let tickets = output.true_positives();
-    let counts =
-        ticket_counts_by_rack_day(&tickets, FaultFilter::Component(HardwareFault::Disk));
+    let counts = ticket_counts_by_rack_day(&tickets, FaultFilter::Component(HardwareFault::Disk));
     let mut temps = Vec::new();
     let mut rates = Vec::new();
     let start_day = output.config.start.days();
     let end_day = output.config.end.days();
     for rack in &output.fleet.racks {
-        let disks =
-            (rack.servers * rack.sku_spec().disks_per_server).max(1) as f64;
+        let disks = (rack.servers * rack.sku_spec().disks_per_server).max(1) as f64;
         for day in (start_day..end_day).step_by(day_stride) {
             if !rack.is_active(rainshine_telemetry::time::SimTime::from_days(day)) {
                 continue;
             }
-            let env = output.env.daily_mean(rack.dc, rack.region, day);
+            let env = output.ingested_daily_env(rack.dc, rack.region, day);
+            // Sensor blackouts leave NaN cells; those rack-days cannot be
+            // attributed to a temperature bin.
+            if !env.temp_f.is_finite() {
+                continue;
+            }
             let failures = counts.get(&(rack.id, day)).copied().unwrap_or(0) as f64;
             temps.push(env.temp_f);
             rates.push(1000.0 * failures / disks);
@@ -87,12 +90,8 @@ pub fn disk_rate_by_temperature(
 }
 
 /// Control features normalized before environmental threshold discovery.
-pub const ENV_CONTROLS: &[&str] = &[
-    columns::AGE_MONTHS,
-    columns::SKU,
-    columns::WORKLOAD,
-    columns::RATED_POWER_KW,
-];
+pub const ENV_CONTROLS: &[&str] =
+    &[columns::AGE_MONTHS, columns::SKU, columns::WORKLOAD, columns::RATED_POWER_KW];
 
 /// A threshold rule discovered by the environment tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -189,7 +188,7 @@ fn discover_rules(tree: &Tree) -> Vec<DiscoveredRule> {
         .iter()
         .filter_map(|node| {
             node.rule.as_ref().and_then(|rule| match rule {
-                SplitRule::ContinuousThreshold { feature, threshold } => Some(DiscoveredRule {
+                SplitRule::ContinuousThreshold { feature, threshold, .. } => Some(DiscoveredRule {
                     feature: feature.clone(),
                     threshold: *threshold,
                     depth: node.depth,
@@ -223,9 +222,9 @@ pub fn env_analysis(dc_label: &str, table: &Table, cart: &CartParams) -> Result<
     let env_tree = Tree::fit(&env_ds, cart)?;
     let mut discovered = discover_rules(&env_tree);
     discovered.sort_by(|a, b| {
-        a.depth.cmp(&b.depth).then(
-            b.improvement.partial_cmp(&a.improvement).expect("finite improvement"),
-        )
+        a.depth
+            .cmp(&b.depth)
+            .then(b.improvement.partial_cmp(&a.improvement).expect("finite improvement"))
     });
     // Fallback when the tree finds no environmental split (the DC2 case):
     // split at the 75th percentile of observed temperature so the "hot"
@@ -236,7 +235,8 @@ pub fn env_analysis(dc_label: &str, table: &Table, cart: &CartParams) -> Result<
         .find(|r| r.feature == columns::TEMPERATURE_F)
         .map(|r| r.threshold)
         .unwrap_or_else(|| {
-            rainshine_stats::ecdf::quantile_interpolated(temp_values, 0.75).unwrap_or(78.0)
+            let finite: Vec<f64> = temp_values.iter().copied().filter(|t| t.is_finite()).collect();
+            rainshine_stats::ecdf::quantile_interpolated(&finite, 0.75).unwrap_or(78.0)
         });
     let rh_threshold = discovered
         .iter()
@@ -252,6 +252,11 @@ pub fn env_analysis(dc_label: &str, table: &Table, cart: &CartParams) -> Result<
     let mut hot = Vec::new();
     let mut hot_dry = Vec::new();
     for i in 0..table.rows() {
+        // Rows with no temperature reading (sensor blackout) cannot be
+        // assigned to either side of the threshold.
+        if !temp[i].is_finite() {
+            continue;
+        }
         if temp[i] <= temp_threshold {
             cool.push(y[i]);
         } else {
@@ -347,6 +352,10 @@ pub fn setpoint_tradeoff(
     let mut counts = vec![0.0f64; bins];
     let bin_of = |t: f64| (((t - lo) / 2.0) as usize).min(bins - 1);
     for (t, v) in temp.iter().zip(norm_y) {
+        // NaN temperatures (sensor blackout) would alias into bin 0.
+        if !t.is_finite() {
+            continue;
+        }
         sums[bin_of(*t)] += v;
         counts[bin_of(*t)] += 1.0;
     }
@@ -498,8 +507,7 @@ mod tests {
         // normalized response is flat below the planted 78 F threshold, so
         // 70/74/78 tie on failures and cooling cost breaks the tie); with
         // free failures, no cap must win.
-        let expensive =
-            SetpointModel { cost_per_failure: 1e6, ..SetpointModel::default() };
+        let expensive = SetpointModel { cost_per_failure: 1e6, ..SetpointModel::default() };
         let best = setpoint_tradeoff(&dc1, &caps, &expensive, &cart).unwrap();
         assert!(best[0].cap_f <= 78.0, "sub-threshold cap should win, got {:?}", best[0]);
         assert!(
@@ -522,9 +530,6 @@ mod tests {
         let t = disk_table();
         let empty = t.subset(&[]);
         let cart = CartParams::default();
-        assert!(matches!(
-            env_analysis("DC1", &empty, &cart),
-            Err(AnalysisError::NoData { .. })
-        ));
+        assert!(matches!(env_analysis("DC1", &empty, &cart), Err(AnalysisError::NoData { .. })));
     }
 }

@@ -84,8 +84,7 @@ impl TcoModel {
     /// `spare_servers` spares (fractional spares allowed: they represent
     /// per-rack fractions summed over many racks).
     pub fn deployment_tco(&self, base_servers: f64, spare_servers: f64) -> f64 {
-        base_servers * self.cost_per_base_server()
-            + spare_servers * self.cost_per_spare_server()
+        base_servers * self.cost_per_base_server() + spare_servers * self.cost_per_spare_server()
     }
 
     /// Relative TCO savings of provisioning `spares_a` instead of

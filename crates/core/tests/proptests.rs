@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use rainshine_core::predict::Confusion;
-use rainshine_core::q1::{
-    pooling_comparison, provision_servers, ProvisionParams, RackDeficits,
-};
+use rainshine_core::q1::{pooling_comparison, provision_servers, ProvisionParams, RackDeficits};
 use rainshine_core::tco::TcoModel;
 use rainshine_dcsim::{FleetConfig, Simulation};
 use rainshine_telemetry::ids::{RackId, Workload};

@@ -101,10 +101,8 @@ impl SiteClimate {
         let hour_of_day = (hour % 24) as f64;
         let diurnal = (TAU * (hour_of_day - 9.0) / 24.0).sin();
         let t_noise = signed_noise(self.seed, hour) * self.temp_noise_f;
-        let temp_f = self.mean_temp_f
-            + self.annual_amp_f * annual
-            + self.diurnal_amp_f * diurnal
-            + t_noise;
+        let temp_f =
+            self.mean_temp_f + self.annual_amp_f * annual + self.diurnal_amp_f * diurnal + t_noise;
         let rh_noise = signed_noise(self.seed.wrapping_add(1), hour) * self.rh_noise;
         let anomaly = temp_f - self.mean_temp_f;
         let rh = (self.mean_rh - self.rh_temp_coupling * anomaly + rh_noise).clamp(3.0, 100.0);

@@ -4,6 +4,7 @@ use rainshine_parallel::Parallelism;
 use rainshine_telemetry::time::SimTime;
 use serde::{Deserialize, Serialize};
 
+use crate::corruption::CorruptionConfig;
 use crate::hazard::HazardConfig;
 use crate::{Result, SimError};
 
@@ -31,6 +32,10 @@ pub struct FleetConfig {
     pub false_positive_rate: f64,
     /// Hazard-model knobs (ground-truth effect sizes).
     pub hazard: HazardConfig,
+    /// Dirty-data injection rates. Defaults to all-zero (pristine output);
+    /// see [`CorruptionConfig::dirty_default`] for the documented dirty
+    /// preset.
+    pub corruption: CorruptionConfig,
     /// How to spread per-rack ticket generation across threads. Every
     /// rack draws from its own seed-derived RNG stream and results merge
     /// in rack order, so the ticket stream is bit-identical for any
@@ -50,6 +55,7 @@ impl FleetConfig {
             layout_seed: 0xA11CE,
             false_positive_rate: 0.08,
             hazard: HazardConfig::default(),
+            corruption: CorruptionConfig::default(),
             parallelism: Parallelism::Auto,
         }
     }
@@ -85,10 +91,14 @@ impl FleetConfig {
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] when the span is empty, a DC has
-    /// no racks, or the false-positive rate is outside `[0, 0.9]`.
+    /// no racks, the false-positive rate is outside `[0, 0.9]`, or the
+    /// hazard/corruption knobs are out of range.
     pub fn validate(&self) -> Result<()> {
         if self.end <= self.start {
-            return Err(SimError::InvalidConfig { field: "end", reason: "end must be after start" });
+            return Err(SimError::InvalidConfig {
+                field: "end",
+                reason: "end must be after start",
+            });
         }
         if self.dc1_racks == 0 || self.dc2_racks == 0 {
             return Err(SimError::InvalidConfig {
@@ -102,7 +112,8 @@ impl FleetConfig {
                 reason: "must be within [0, 0.9]",
             });
         }
-        self.hazard.validate()
+        self.hazard.validate()?;
+        self.corruption.validate()
     }
 }
 

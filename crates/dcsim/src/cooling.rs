@@ -112,16 +112,10 @@ mod tests {
     #[test]
     fn adiabatic_tracks_weather() {
         let climate = SiteClimate::warm_dry(5);
-        let winter = inlet_at(
-            CoolingSystem::Adiabatic,
-            &climate,
-            SimTime::from_date(2012, 1, 15, 12),
-        );
-        let summer = inlet_at(
-            CoolingSystem::Adiabatic,
-            &climate,
-            SimTime::from_date(2012, 7, 15, 15),
-        );
+        let winter =
+            inlet_at(CoolingSystem::Adiabatic, &climate, SimTime::from_date(2012, 1, 15, 12));
+        let summer =
+            inlet_at(CoolingSystem::Adiabatic, &climate, SimTime::from_date(2012, 7, 15, 15));
         assert!(summer.temp_f > winter.temp_f + 8.0);
     }
 

@@ -162,7 +162,9 @@ mod tests {
         let mean = env.daily_mean(DcId(1), RegionId(1), day);
         let samples: Vec<f64> = DAILY_SAMPLE_HOURS
             .iter()
-            .map(|&h| env.sample(DcId(1), RegionId(1), SimTime::from_days(day).plus_hours(h)).temp_f)
+            .map(|&h| {
+                env.sample(DcId(1), RegionId(1), SimTime::from_days(day).plus_hours(h)).temp_f
+            })
             .collect();
         let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);

@@ -275,11 +275,8 @@ impl HazardConfig {
 
     /// Day-of-week factor for a workload with the given sensitivity.
     pub fn dow_factor(&self, t: SimTime, weekday_sensitivity: f64) -> f64 {
-        let base = if t.day_of_week().is_weekday() {
-            self.weekday_factor
-        } else {
-            self.weekend_factor
-        };
+        let base =
+            if t.day_of_week().is_weekday() { self.weekday_factor } else { self.weekend_factor };
         1.0 + weekday_sensitivity * (base - 1.0)
     }
 
@@ -536,12 +533,8 @@ mod tests {
             .iter()
             .find(|r| r.commissioned_day > 10)
             .expect("some racks commissioned mid-window");
-        let rate = h.rack_day_rate(
-            future_rack,
-            ComponentClass::Disk,
-            env(70.0, 40.0),
-            SimTime::EPOCH,
-        );
+        let rate =
+            h.rack_day_rate(future_rack, ComponentClass::Disk, env(70.0, 40.0), SimTime::EPOCH);
         assert_eq!(rate, 0.0);
     }
 

@@ -26,6 +26,8 @@
 //! * [`tickets`] — RMA ticket generation (hardware via non-homogeneous
 //!   Poisson sampling; software/boot/other matched to Table II shares;
 //!   repair times; false-positive injection);
+//! * [`corruption`] — seeded dirty-data injection (duplicate / inverted /
+//!   skewed / mislabeled / censored tickets, sensor spikes and blackouts);
 //! * [`simulation`] — the top-level [`simulation::Simulation`] driver.
 //!
 //! # Example
@@ -43,6 +45,7 @@
 pub mod climate;
 pub mod config;
 pub mod cooling;
+pub mod corruption;
 pub mod environment;
 pub mod hazard;
 pub mod simulation;
@@ -54,6 +57,7 @@ pub mod workload;
 mod error;
 
 pub use config::FleetConfig;
+pub use corruption::CorruptionConfig;
 pub use error::SimError;
 pub use simulation::{Simulation, SimulationOutput};
 

@@ -1,13 +1,15 @@
 //! Top-level simulation driver.
 
 use rainshine_parallel::derive_seed;
-use rainshine_telemetry::ids::RackId;
+use rainshine_telemetry::ids::{DcId, RackId, RegionId};
+use rainshine_telemetry::quality::{DataQualityReport, DefectClass, Sanitizer, SanitizerConfig};
 use rainshine_telemetry::rma::{self, RmaTicket};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::FleetConfig;
 use crate::cooling::InletConditions;
+use crate::corruption::{self, InjectionLog, SensorFaultPlan};
 use crate::environment::EnvModel;
 use crate::tickets;
 use crate::topology::Fleet;
@@ -59,17 +61,12 @@ impl Simulation {
         let fleet = Fleet::build(&self.config);
         let env = EnvModel::paper_layout(self.seed);
         let par = self.config.parallelism;
-        let mut all =
-            tickets::generate_hardware_par(&fleet, &self.config, &env, self.seed, par);
+        let mut all = tickets::generate_hardware_par(&fleet, &self.config, &env, self.seed, par);
         all.extend(tickets::generate_bursts_par(&fleet, &self.config, self.seed, par));
-        let non_hw =
-            tickets::generate_non_hardware_par(&fleet, &self.config, &all, self.seed, par);
+        let non_hw = tickets::generate_non_hardware_par(&fleet, &self.config, &all, self.seed, par);
         all.extend(non_hw);
-        let mut fp_rng = StdRng::seed_from_u64(derive_seed(
-            self.seed,
-            tickets::STREAM_FALSE_POSITIVES,
-            0,
-        ));
+        let mut fp_rng =
+            StdRng::seed_from_u64(derive_seed(self.seed, tickets::STREAM_FALSE_POSITIVES, 0));
         let fps = tickets::inject_false_positives(
             &all,
             self.config.false_positive_rate,
@@ -78,7 +75,83 @@ impl Simulation {
         );
         all.extend(fps);
         all.sort_by_key(|t| (t.opened, t.location.rack, t.device));
-        SimulationOutput { config: self.config, seed: self.seed, fleet, env, tickets: all }
+
+        // Dirty-data injection (off by default) followed by the robust
+        // ingestion pass. The sanitizer always runs: on a pristine stream
+        // it is a bit-identical no-op, so clean runs are unaffected, while
+        // corrupted runs come out repaired/quarantined with every defect
+        // accounted for in the quality report.
+        let corruption_cfg = self.config.corruption.clone();
+        let mut injection = InjectionLog::default();
+        let mut sensor_faults = SensorFaultPlan::default();
+        let start_day = self.config.start.hours() / 24;
+        let end_day = start_day + self.config.span_days();
+        if corruption_cfg.is_enabled() {
+            let mut rng =
+                StdRng::seed_from_u64(derive_seed(self.seed, corruption::STREAM_CORRUPTION, 0));
+            injection = corruption::corrupt_tickets(
+                &mut all,
+                &corruption_cfg,
+                (self.config.start, self.config.end),
+                &mut rng,
+            );
+            let dcs: Vec<(DcId, u8)> =
+                fleet.datacenters.iter().map(|d| (d.id, d.regions)).collect();
+            let mut env_rng =
+                StdRng::seed_from_u64(derive_seed(self.seed, corruption::STREAM_CORRUPTION, 1));
+            sensor_faults = corruption::plan_sensor_faults(
+                &corruption_cfg,
+                &dcs,
+                start_day,
+                end_day,
+                &mut env_rng,
+            );
+            injection.spiked_cells = sensor_faults.spiked_cells();
+            injection.blackout_cells = sensor_faults.blackout_cells();
+        }
+
+        let sanitizer = Sanitizer::new(
+            fleet.manifest(),
+            SanitizerConfig::for_span(self.config.start, self.config.end),
+        );
+        let (tickets, mut quality) = sanitizer.sanitize(&all);
+
+        // Environment-sensor audit: replay every (DC, region, day) cell
+        // through the ingestion bounds so blackouts and spikes show up in
+        // the report. Skipped when corruption is off — the sensors are
+        // clean by construction.
+        if corruption_cfg.is_enabled() {
+            let bounds = sanitizer.config().bounds;
+            for d in &fleet.datacenters {
+                for region in 1..=d.regions {
+                    let region = RegionId(region);
+                    for day in start_day..end_day {
+                        quality.env_cells_seen += 1;
+                        if sensor_faults.is_blacked_out(d.id, region, day) {
+                            quality.record(DefectClass::SensorBlackout, false);
+                            continue;
+                        }
+                        let clean = env.daily_mean(d.id, region, day);
+                        let temp = clean.temp_f
+                            + sensor_faults.spike_delta(d.id, region, day).unwrap_or(0.0);
+                        if bounds.winsorize_temp(temp).1 || bounds.winsorize_rh(clean.rh).1 {
+                            quality.record(DefectClass::SensorSpike, true);
+                        }
+                    }
+                }
+            }
+        }
+
+        SimulationOutput {
+            config: self.config,
+            seed: self.seed,
+            fleet,
+            env,
+            tickets,
+            sensor_faults,
+            injection,
+            quality,
+        }
     }
 }
 
@@ -93,8 +166,19 @@ pub struct SimulationOutput {
     pub fleet: Fleet,
     /// The environment model (queryable for any rack-hour).
     pub env: EnvModel,
-    /// All RMA tickets, sorted by open time. Includes false positives.
+    /// The sanitized RMA ticket stream, sorted by open time. Flagged false
+    /// positives are included; injected defects have been repaired or
+    /// quarantined (see [`Self::quality`]).
     pub tickets: Vec<RmaTicket>,
+    /// Sensor faults injected into the environmental telemetry (empty when
+    /// corruption is off). Raw readings are exposed via
+    /// [`Self::observed_daily_env`], repaired ones via
+    /// [`Self::ingested_daily_env`].
+    pub sensor_faults: SensorFaultPlan,
+    /// Ground truth of every defect the injector introduced.
+    pub injection: InjectionLog,
+    /// What the ingestion layer saw and did, row by row.
+    pub quality: DataQualityReport,
 }
 
 impl SimulationOutput {
@@ -121,6 +205,39 @@ impl SimulationOutput {
     pub fn rack_daily_env(&self, rack: RackId, day: u64) -> InletConditions {
         let info = self.fleet.rack(rack).unwrap_or_else(|| panic!("unknown {rack}"));
         self.env.daily_mean(info.dc, info.region, day)
+    }
+
+    /// Daily mean inlet conditions *as the sensors reported them*: NaN
+    /// during a blackout window, spiked during a spike cell, otherwise the
+    /// true environment.
+    pub fn observed_daily_env(&self, dc: DcId, region: RegionId, day: u64) -> InletConditions {
+        if self.sensor_faults.is_empty() {
+            return self.env.daily_mean(dc, region, day);
+        }
+        if self.sensor_faults.is_blacked_out(dc, region, day) {
+            return InletConditions { temp_f: f64::NAN, rh: f64::NAN };
+        }
+        let mut cond = self.env.daily_mean(dc, region, day);
+        if let Some(delta) = self.sensor_faults.spike_delta(dc, region, day) {
+            cond.temp_f += delta;
+        }
+        cond
+    }
+
+    /// Daily mean inlet conditions after robust ingestion: spikes are
+    /// winsorized to physical bounds, blackout cells stay NaN (downstream
+    /// analyses skip or route them). Identical to the true environment when
+    /// the sensors are clean.
+    pub fn ingested_daily_env(&self, dc: DcId, region: RegionId, day: u64) -> InletConditions {
+        let observed = self.observed_daily_env(dc, region, day);
+        if self.sensor_faults.is_empty() {
+            return observed;
+        }
+        let bounds = rainshine_telemetry::quality::SensorBounds::default();
+        InletConditions {
+            temp_f: bounds.winsorize_temp(observed.temp_f).0,
+            rh: bounds.winsorize_rh(observed.rh).0,
+        }
     }
 }
 

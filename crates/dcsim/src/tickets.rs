@@ -135,7 +135,8 @@ fn make_hardware_ticket<R: Rng + ?Sized>(
     let fault = FaultKind::Hardware(hardware_fault_of(class));
     let opened = SimTime::from_days(day).plus_hours(rng.gen_range(0..24));
     let repair = sample_repair(fault, rng);
-    let resolved = SimTime(opened.hours().saturating_add(repair).min(end.hours()).max(opened.hours() + 1));
+    let resolved =
+        SimTime(opened.hours().saturating_add(repair).min(end.hours()).max(opened.hours() + 1));
     let repeat = Bernoulli::new(0.1).expect("valid p");
     RmaTicket {
         device: device_id(location.server.0, class, unit),
@@ -204,8 +205,7 @@ pub fn generate_hardware_par(
     parallelism: Parallelism,
 ) -> Vec<RmaTicket> {
     let per_rack = par_map_range(parallelism, fleet.racks.len(), |rack_index| {
-        let mut rng =
-            StdRng::seed_from_u64(derive_seed(seed, STREAM_HARDWARE, rack_index as u64));
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, STREAM_HARDWARE, rack_index as u64));
         hardware_for_rack(&fleet.racks[rack_index], config, env, &mut rng)
     });
     per_rack.into_iter().flatten().collect()
@@ -281,9 +281,7 @@ fn bursts_for_rack<R: Rng + ?Sized>(
             };
             let jitter = rng.gen_range(0..3u64);
             let resolved = SimTime(
-                (open.hours() + duration + jitter)
-                    .min(config.end.hours())
-                    .max(open.hours() + 1),
+                (open.hours() + duration + jitter).min(config.end.hours()).max(open.hours() + 1),
             );
             out.push(RmaTicket {
                 device: device_id(location.server.0, class, 0),
@@ -350,11 +348,7 @@ fn non_hardware_for_dc<R: Rng + ?Sized>(
         return out;
     }
     let shares = table_ii_shares(dc);
-    let hw_share: f64 = shares
-        .iter()
-        .filter(|(k, _)| k.is_hardware())
-        .map(|(_, s)| s)
-        .sum();
+    let hw_share: f64 = shares.iter().filter(|(k, _)| k.is_hardware()).map(|(_, s)| s).sum();
     // Racks sorted by commission day let us sample "a rack active on
     // day d" in O(log n).
     let mut racks: Vec<&RackInfo> = fleet.racks_in(dc).collect();
@@ -363,8 +357,7 @@ fn non_hardware_for_dc<R: Rng + ?Sized>(
     let day_weights: Vec<f64> = (start_day..end_day)
         .map(|day| {
             let t = SimTime::from_days(day);
-            let active =
-                racks.partition_point(|r| r.commissioned_day <= day as i64) as f64;
+            let active = racks.partition_point(|r| r.commissioned_day <= day as i64) as f64;
             let dow = if t.day_of_week().is_weekday() { 1.25 } else { 0.85 };
             active * dow
         })
@@ -376,9 +369,7 @@ fn non_hardware_for_dc<R: Rng + ?Sized>(
     for (fault, share) in shares.into_iter().filter(|(k, _)| !k.is_hardware()) {
         let expected = hw_count * share / hw_share;
         let count = expected.floor() as u64
-            + u64::from(
-                Bernoulli::new(expected.fract()).expect("fraction in [0,1]").sample(rng),
-            );
+            + u64::from(Bernoulli::new(expected.fract()).expect("fraction in [0,1]").sample(rng));
         for _ in 0..count {
             let day = start_day + day_dist.sample(rng) as u64;
             let active = racks.partition_point(|r| r.commissioned_day <= day as i64);
@@ -391,7 +382,10 @@ fn non_hardware_for_dc<R: Rng + ?Sized>(
             let opened = SimTime::from_days(day).plus_hours(rng.gen_range(0..24));
             let repair = sample_repair(fault, rng);
             let resolved = SimTime(
-                opened.hours().saturating_add(repair).min(config.end.hours())
+                opened
+                    .hours()
+                    .saturating_add(repair)
+                    .min(config.end.hours())
                     .max(opened.hours() + 1),
             );
             out.push(RmaTicket {
@@ -493,10 +487,7 @@ mod tests {
         assert!(!sw.is_empty());
         // Software should dominate: 45-57% of all per Table II.
         let all = hw.len() + sw.len();
-        let software = sw
-            .iter()
-            .filter(|t| matches!(t.fault, FaultKind::Software(_)))
-            .count();
+        let software = sw.iter().filter(|t| matches!(t.fault, FaultKind::Software(_))).count();
         let share = software as f64 / all as f64;
         assert!((0.40..0.62).contains(&share), "software share {share}");
         for t in &sw {
@@ -550,13 +541,8 @@ mod tests {
         for t in &bursts {
             assert!(t.validate().is_ok());
             assert!(t.fault.is_hardware());
-            let servers = groups
-                .entry((t.location.rack.0, t.opened.hours()))
-                .or_default();
-            assert!(
-                servers.insert(t.location.server.0),
-                "burst hit the same server twice"
-            );
+            let servers = groups.entry((t.location.rack.0, t.opened.hours())).or_default();
+            assert!(servers.insert(t.location.server.0), "burst hit the same server twice");
         }
         // At least one burst takes down several servers at once.
         assert!(groups.values().any(|s| s.len() >= 3));

@@ -205,13 +205,13 @@ impl Fleet {
                 let (sku_choice, wl_options) = pick_by_quota(mix, frac);
                 let spec = sku::spec_of(sku_choice);
                 let workload = weighted_pick(wl_options, unit_noise(seed ^ 0xA0, idx));
-                let power_kw = spec.power_options_kw
-                    [(unit_noise(seed ^ 0xB0, idx) * spec.power_options_kw.len() as f64) as usize
-                        % spec.power_options_kw.len()];
+                let power_kw = spec.power_options_kw[(unit_noise(seed ^ 0xB0, idx)
+                    * spec.power_options_kw.len() as f64)
+                    as usize
+                    % spec.power_options_kw.len()];
                 let region = if dc.id == DcId(1) {
                     let w = dc1_region_weights(sku_choice);
-                    let opts: Vec<(u8, f64)> =
-                        (1..=4u8).zip(w.iter().copied()).collect();
+                    let opts: Vec<(u8, f64)> = (1..=4u8).zip(w.iter().copied()).collect();
                     weighted_pick(&opts, unit_noise(seed ^ 0xC0, idx))
                 } else {
                     1 + ((unit_noise(seed ^ 0xC0, idx) * dc.regions as f64) as u8) % dc.regions
@@ -264,6 +264,26 @@ impl Fleet {
     /// Looks up a rack by id.
     pub fn rack(&self, id: RackId) -> Option<&RackInfo> {
         self.racks.iter().find(|r| r.id == id)
+    }
+
+    /// The fleet inventory the ingestion layer checks ticket locations
+    /// against (rack ids are globally unique, so a rack record pins down
+    /// every spatial field).
+    pub fn manifest(&self) -> rainshine_telemetry::quality::FleetManifest {
+        let mut manifest = rainshine_telemetry::quality::FleetManifest::new();
+        for r in &self.racks {
+            manifest.insert(
+                r.id,
+                rainshine_telemetry::quality::RackRecord {
+                    dc: r.dc,
+                    region: r.region,
+                    row: r.row,
+                    server_id_base: r.server_id_base,
+                    servers: r.servers,
+                },
+            );
+        }
+        manifest
     }
 }
 
@@ -338,11 +358,7 @@ mod tests {
             .filter(|r| r.region == RegionId(1) || r.region == RegionId(4))
             .count();
         let s2_total = f.racks_in(DcId(1)).filter(|r| r.sku == Sku::S2).count();
-        assert!(
-            s2_hot as f64 / s2_total as f64 > 0.6,
-            "S2 hot-region share {}/{s2_total}",
-            s2_hot
-        );
+        assert!(s2_hot as f64 / s2_total as f64 > 0.6, "S2 hot-region share {}/{s2_total}", s2_hot);
     }
 
     #[test]
@@ -381,8 +397,7 @@ mod tests {
     #[test]
     fn frailty_is_centered_near_one() {
         let f = fleet();
-        let mean: f64 =
-            f.racks.iter().map(|r| r.frailty).sum::<f64>() / f.racks.len() as f64;
+        let mean: f64 = f.racks.iter().map(|r| r.frailty).sum::<f64>() / f.racks.len() as f64;
         assert!((mean - 1.0).abs() < 0.15, "frailty mean {mean}");
         assert!(f.racks.iter().all(|r| r.frailty > 0.2 && r.frailty < 5.0));
     }

@@ -23,8 +23,7 @@
 use serde::{Deserialize, Serialize};
 
 /// How a parallelizable stage should execute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Parallelism {
     /// Run on the calling thread, one item at a time.
     Sequential,
@@ -35,16 +34,15 @@ pub enum Parallelism {
     Auto,
 }
 
-
 impl Parallelism {
     /// Resolves to a concrete worker count (always ≥ 1).
     pub fn resolve_threads(self) -> usize {
         match self {
             Parallelism::Sequential => 1,
             Parallelism::Threads(n) => n.max(1),
-            Parallelism::Auto => std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
+            Parallelism::Auto => {
+                std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+            }
         }
     }
 

@@ -97,9 +97,8 @@ where
     stats.sort_by(|a, b| a.partial_cmp(b).expect("statistic produced NaN"));
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((alpha * resamples as f64).floor() as usize).min(resamples - 1);
-    let hi_idx = (((1.0 - alpha) * resamples as f64).ceil() as usize)
-        .saturating_sub(1)
-        .min(resamples - 1);
+    let hi_idx =
+        (((1.0 - alpha) * resamples as f64).ceil() as usize).saturating_sub(1).min(resamples - 1);
     Ok(ConfidenceInterval { estimate, lower: stats[lo_idx], upper: stats[hi_idx], level })
 }
 
@@ -139,9 +138,8 @@ where
     stats.sort_by(|a, b| a.partial_cmp(b).expect("statistic produced NaN"));
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((alpha * resamples as f64).floor() as usize).min(resamples - 1);
-    let hi_idx = (((1.0 - alpha) * resamples as f64).ceil() as usize)
-        .saturating_sub(1)
-        .min(resamples - 1);
+    let hi_idx =
+        (((1.0 - alpha) * resamples as f64).ceil() as usize).saturating_sub(1).min(resamples - 1);
     Ok(ConfidenceInterval { estimate, lower: stats[lo_idx], upper: stats[hi_idx], level })
 }
 
@@ -188,10 +186,8 @@ where
 {
     let n = data.len();
     par_map_range(parallelism, resamples, |replicate| {
-        let mut rng =
-            StdRng::seed_from_u64(derive_seed(seed, STREAM_BOOTSTRAP, replicate as u64));
-        let resample: Vec<f64> =
-            (0..n).map(|_| data[rng.gen_range(0..n)]).collect();
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, STREAM_BOOTSTRAP, replicate as u64));
+        let resample: Vec<f64> = (0..n).map(|_| data[rng.gen_range(0..n)]).collect();
         statistic(&resample)
     })
 }
@@ -202,12 +198,7 @@ where
 /// # Errors
 ///
 /// Same conditions as [`bootstrap_ci`].
-pub fn bootstrap_se<R, F>(
-    data: &[f64],
-    resamples: usize,
-    rng: &mut R,
-    statistic: F,
-) -> Result<f64>
+pub fn bootstrap_se<R, F>(data: &[f64], resamples: usize, rng: &mut R, statistic: F) -> Result<f64>
 where
     R: Rng + ?Sized,
     F: Fn(&[f64]) -> f64,
@@ -239,10 +230,7 @@ mod tests {
     fn ci_covers_true_mean() {
         let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
         let mut rng = StdRng::seed_from_u64(42);
-        let ci = bootstrap_ci(&data, 1000, 0.95, &mut rng, |s| {
-            describe::mean(s).unwrap()
-        })
-        .unwrap();
+        let ci = bootstrap_ci(&data, 1000, 0.95, &mut rng, |s| describe::mean(s).unwrap()).unwrap();
         assert!(ci.contains(4.5), "{ci:?}");
         assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
         assert!(ci.width() < 1.0);
@@ -252,11 +240,11 @@ mod tests {
     fn narrower_interval_for_lower_level() {
         let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let mut rng = StdRng::seed_from_u64(7);
-        let wide = bootstrap_ci(&data, 800, 0.99, &mut rng, |s| describe::mean(s).unwrap())
-            .unwrap();
+        let wide =
+            bootstrap_ci(&data, 800, 0.99, &mut rng, |s| describe::mean(s).unwrap()).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
-        let narrow = bootstrap_ci(&data, 800, 0.80, &mut rng, |s| describe::mean(s).unwrap())
-            .unwrap();
+        let narrow =
+            bootstrap_ci(&data, 800, 0.80, &mut rng, |s| describe::mean(s).unwrap()).unwrap();
         assert!(narrow.width() < wide.width());
     }
 

@@ -107,10 +107,7 @@ mod tests {
     #[test]
     fn ensure_sample_rejects_empty_and_nan() {
         assert_eq!(ensure_sample(&[]), Err(StatsError::EmptyInput));
-        assert_eq!(
-            ensure_sample(&[1.0, f64::NAN]),
-            Err(StatsError::NonFiniteInput { index: 1 })
-        );
+        assert_eq!(ensure_sample(&[1.0, f64::NAN]), Err(StatsError::NonFiniteInput { index: 1 }));
         assert!(ensure_sample(&[1.0, 2.0]).is_ok());
     }
 }

@@ -194,9 +194,7 @@ impl GroupedMeans {
             .iter()
             .enumerate()
             .filter_map(|(i, w)| {
-                w.summary().map(|s| {
-                    (self.binner.label(i), s.mean(), s.sample_stddev(), s.count())
-                })
+                w.summary().map(|s| (self.binner.label(i), s.mean(), s.sample_stddev(), s.count()))
             })
             .collect()
     }

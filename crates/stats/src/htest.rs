@@ -49,8 +49,7 @@ pub fn chi_square_independence(table: &[Vec<f64>]) -> Result<TestResult> {
         return Err(StatsError::DegenerateDimension { what: "ragged contingency table" });
     }
     let row_totals: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
-    let col_totals: Vec<f64> =
-        (0..cols).map(|j| table.iter().map(|r| r[j]).sum()).collect();
+    let col_totals: Vec<f64> = (0..cols).map(|j| table.iter().map(|r| r[j]).sum()).collect();
     let grand: f64 = row_totals.iter().sum();
     if grand <= 0.0 || row_totals.iter().any(|&t| t <= 0.0) || col_totals.iter().any(|&t| t <= 0.0)
     {
@@ -147,8 +146,7 @@ pub fn welch_t_test(x: &[f64], y: &[f64]) -> Result<TestResult> {
     }
     let t = (sx.mean() - sy.mean()) / se2.sqrt();
     // Welch–Satterthwaite df.
-    let df = se2 * se2
-        / (vx * vx / (x.len() as f64 - 1.0) + vy * vy / (y.len() as f64 - 1.0));
+    let df = se2 * se2 / (vx * vx / (x.len() as f64 - 1.0) + vy * vy / (y.len() as f64 - 1.0));
     let p_value = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
     Ok(TestResult { statistic: t, p_value, df })
 }

@@ -132,9 +132,7 @@ pub fn hazard_by_age(data: &[Lifetime], edges: &[f64]) -> Result<Vec<(String, f6
     validate_lifetimes(data)?;
     ensure_finite(edges)?;
     if edges.is_empty() || edges.windows(2).any(|w| w[0] >= w[1]) {
-        return Err(StatsError::DegenerateDimension {
-            what: "hazard bins need ascending edges",
-        });
+        return Err(StatsError::DegenerateDimension { what: "hazard bins need ascending edges" });
     }
     let binner = crate::hist::Binner::from_edges(edges.to_vec())?;
     let bins = binner.bin_count();
@@ -219,9 +217,7 @@ pub fn weibull_mle(data: &[Lifetime]) -> Result<WeibullFit> {
     let mut lo = 1e-3;
     let mut hi = 50.0;
     if g(lo) > 0.0 || g(hi) < 0.0 {
-        return Err(StatsError::DegenerateDimension {
-            what: "weibull shape outside [0.001, 50]",
-        });
+        return Err(StatsError::DegenerateDimension { what: "weibull shape outside [0.001, 50]" });
     }
     let mut iterations = 0;
     for _ in 0..200 {

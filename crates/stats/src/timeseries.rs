@@ -25,10 +25,7 @@ use crate::{Result, StatsError};
 pub fn acf(data: &[f64], max_lag: usize) -> Result<Vec<f64>> {
     ensure_sample(data)?;
     if max_lag >= data.len() {
-        return Err(StatsError::InvalidParameter {
-            name: "max_lag",
-            value: max_lag as f64,
-        });
+        return Err(StatsError::InvalidParameter { name: "max_lag", value: max_lag as f64 });
     }
     let n = data.len() as f64;
     let mean = data.iter().sum::<f64>() / n;
@@ -38,12 +35,8 @@ pub fn acf(data: &[f64], max_lag: usize) -> Result<Vec<f64>> {
     }
     let mut out = Vec::with_capacity(max_lag + 1);
     for lag in 0..=max_lag {
-        let cov: f64 = data
-            .iter()
-            .zip(&data[lag..])
-            .map(|(a, b)| (a - mean) * (b - mean))
-            .sum::<f64>()
-            / n;
+        let cov: f64 =
+            data.iter().zip(&data[lag..]).map(|(a, b)| (a - mean) * (b - mean)).sum::<f64>() / n;
         out.push(cov / var);
     }
     Ok(out)
@@ -66,11 +59,7 @@ pub fn ljung_box(data: &[f64], lags: usize) -> Result<TestResult> {
     let n = data.len() as f64;
     let statistic = n
         * (n + 2.0)
-        * rho[1..]
-            .iter()
-            .enumerate()
-            .map(|(k, r)| r * r / (n - (k + 1) as f64))
-            .sum::<f64>();
+        * rho[1..].iter().enumerate().map(|(k, r)| r * r / (n - (k + 1) as f64)).sum::<f64>();
     let df = lags as f64;
     let p_value = 1.0 - chi_square_cdf(statistic.max(0.0), df);
     Ok(TestResult { statistic, p_value, df })
@@ -128,8 +117,7 @@ pub fn isotonic_regression(values: &[f64], weights: &[f64]) -> Result<Vec<f64>> 
                 break;
             }
             let w_total = block_w[n - 2] + block_w[n - 1];
-            let pooled =
-                (means[n - 2] * block_w[n - 2] + means[n - 1] * block_w[n - 1]) / w_total;
+            let pooled = (means[n - 2] * block_w[n - 2] + means[n - 1] * block_w[n - 1]) / w_total;
             means[n - 2] = pooled;
             block_w[n - 2] = w_total;
             extent[n - 2] += extent[n - 1];
@@ -209,8 +197,7 @@ mod tests {
     #[test]
     fn dispersion_detects_bursts() {
         // Mixture: mostly 0, occasionally 20 — heavily over-dispersed.
-        let counts: Vec<f64> =
-            (0..1000).map(|i| if i % 50 == 0 { 20.0 } else { 0.0 }).collect();
+        let counts: Vec<f64> = (0..1000).map(|i| if i % 50 == 0 { 20.0 } else { 0.0 }).collect();
         let di = dispersion_index(&counts).unwrap();
         assert!(di > 5.0, "dispersion {di}");
     }

@@ -16,10 +16,14 @@
 //! * [`schema`] — the canonical candidate-feature schema (Table III);
 //! * [`metrics`] — the paper's two failure metrics: generation rate λ and
 //!   concurrent-failure count μ, at arbitrary spatial × temporal
-//!   granularity.
+//!   granularity;
+//! * [`quality`] — robust ingestion for dirty streams: a sanitizer that
+//!   dedups, repairs, or quarantines defective tickets and accounts for
+//!   every row in a [`quality::DataQualityReport`].
 
 pub mod ids;
 pub mod metrics;
+pub mod quality;
 pub mod rma;
 pub mod schema;
 pub mod table;

@@ -21,9 +21,7 @@ use crate::rma::RmaTicket;
 use crate::time::{SimTime, TimeGranularity};
 
 /// Spatial aggregation level.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SpatialGranularity {
     /// Whole datacenter.
     Datacenter,
@@ -39,9 +37,7 @@ pub enum SpatialGranularity {
 
 /// Key identifying one spatial unit at some granularity. Fields below the
 /// granularity are zeroed so keys compare equal within a unit.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SpatialKey {
     /// Datacenter number.
     pub dc: u8,
@@ -110,8 +106,7 @@ impl WindowedSeries {
             return 0.0;
         }
         let mean = self.mean();
-        let nonzero_ss: f64 =
-            self.nonzero.values().map(|&v| (v as f64 - mean).powi(2)).sum();
+        let nonzero_ss: f64 = self.nonzero.values().map(|&v| (v as f64 - mean).powi(2)).sum();
         let zero_count = self.windows - self.nonzero.len() as u64;
         let ss = nonzero_ss + zero_count as f64 * mean * mean;
         (ss / (self.windows - 1) as f64).sqrt()
@@ -376,13 +371,8 @@ mod tests {
         // Two devices down during day 0; one still down on day 1.
         let tickets = [ticket(1, 1, 5, 20), ticket(1, 2, 10, 30)];
         let refs: Vec<&RmaTicket> = tickets.iter().collect();
-        let map = mu(
-            &refs,
-            SpatialGranularity::Rack,
-            TimeGranularity::Daily,
-            SimTime(0),
-            SimTime(72),
-        );
+        let map =
+            mu(&refs, SpatialGranularity::Rack, TimeGranularity::Daily, SimTime(0), SimTime(72));
         let key = SpatialGranularity::Rack.key(&tickets[0].location);
         let s = &map[&key];
         assert_eq!(s.nonzero[&0], 2);
@@ -397,20 +387,10 @@ mod tests {
         // at most one at a time (Fig. 12's multiplexing).
         let tickets = [ticket(1, 1, 1, 3), ticket(1, 2, 10, 12)];
         let refs: Vec<&RmaTicket> = tickets.iter().collect();
-        let daily = mu(
-            &refs,
-            SpatialGranularity::Rack,
-            TimeGranularity::Daily,
-            SimTime(0),
-            SimTime(24),
-        );
-        let hourly = mu(
-            &refs,
-            SpatialGranularity::Rack,
-            TimeGranularity::Hourly,
-            SimTime(0),
-            SimTime(24),
-        );
+        let daily =
+            mu(&refs, SpatialGranularity::Rack, TimeGranularity::Daily, SimTime(0), SimTime(24));
+        let hourly =
+            mu(&refs, SpatialGranularity::Rack, TimeGranularity::Hourly, SimTime(0), SimTime(24));
         let key = SpatialGranularity::Rack.key(&tickets[0].location);
         assert_eq!(daily[&key].max(), 2);
         assert_eq!(hourly[&key].max(), 1);
@@ -422,13 +402,8 @@ mod tests {
         // The same device failing twice in one day needs one spare.
         let tickets = [ticket(1, 1, 1, 3), ticket(1, 1, 10, 12)];
         let refs: Vec<&RmaTicket> = tickets.iter().collect();
-        let daily = mu(
-            &refs,
-            SpatialGranularity::Rack,
-            TimeGranularity::Daily,
-            SimTime(0),
-            SimTime(24),
-        );
+        let daily =
+            mu(&refs, SpatialGranularity::Rack, TimeGranularity::Daily, SimTime(0), SimTime(24));
         let key = SpatialGranularity::Rack.key(&tickets[0].location);
         assert_eq!(daily[&key].max(), 1);
     }
@@ -452,13 +427,8 @@ mod tests {
     fn mu_instant_ticket_occupies_opening_window() {
         let tickets = [ticket(1, 1, 5, 5)];
         let refs: Vec<&RmaTicket> = tickets.iter().collect();
-        let map = mu(
-            &refs,
-            SpatialGranularity::Rack,
-            TimeGranularity::Hourly,
-            SimTime(0),
-            SimTime(24),
-        );
+        let map =
+            mu(&refs, SpatialGranularity::Rack, TimeGranularity::Hourly, SimTime(0), SimTime(24));
         let key = SpatialGranularity::Rack.key(&tickets[0].location);
         assert_eq!(map[&key].nonzero[&5], 1);
     }

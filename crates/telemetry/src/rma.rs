@@ -15,9 +15,7 @@ use crate::time::SimTime;
 use crate::{Result, TelemetryError};
 
 /// Hardware fault types from Table II.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum HardwareFault {
     /// Hard-disk failure (leading hardware cause in both DCs).
     Disk,
@@ -56,9 +54,7 @@ impl fmt::Display for HardwareFault {
 }
 
 /// Software fault types from Table II.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SoftwareFault {
     /// Service timeout (the leading cause overall).
     Timeout,
@@ -80,9 +76,7 @@ impl fmt::Display for SoftwareFault {
 }
 
 /// Boot fault types from Table II.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum BootFault {
     /// PXE network-boot failure.
     Pxe,
@@ -101,9 +95,7 @@ impl fmt::Display for BootFault {
 }
 
 /// The full fault taxonomy of Table II.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum FaultKind {
     /// Physical hardware fault, resolved by repair or replacement.
     Hardware(HardwareFault),
@@ -185,10 +177,28 @@ impl RmaTicket {
 /// Filters a ticket stream down to validated true positives, the population
 /// the paper analyzes. Invalid (inverted-interval) tickets are dropped too.
 pub fn true_positives(tickets: &[RmaTicket]) -> Vec<&RmaTicket> {
-    tickets
-        .iter()
-        .filter(|t| !t.false_positive && t.validate().is_ok())
-        .collect()
+    tickets.iter().filter(|t| !t.false_positive && t.validate().is_ok()).collect()
+}
+
+/// Like [`true_positives`], but accounts for every excluded row in the
+/// quality report instead of dropping it silently: flagged false positives
+/// bump `false_positives_excluded`, invalid intervals bump `invalid_dropped`
+/// (the latter stays zero on a sanitized stream).
+pub fn true_positives_audited<'a>(
+    tickets: &'a [RmaTicket],
+    report: &mut crate::quality::DataQualityReport,
+) -> Vec<&'a RmaTicket> {
+    let mut out = Vec::with_capacity(tickets.len());
+    for t in tickets {
+        if t.false_positive {
+            report.false_positives_excluded += 1;
+        } else if t.validate().is_err() {
+            report.invalid_dropped += 1;
+        } else {
+            out.push(t);
+        }
+    }
+    out
 }
 
 /// Per-category ticket share, reproducing the shape of Table II.
@@ -259,11 +269,27 @@ mod tests {
     }
 
     #[test]
+    fn true_positives_audited_counts_every_drop() {
+        let tickets = vec![
+            ticket(FaultKind::Hardware(HardwareFault::Disk), 0, 4, false),
+            ticket(FaultKind::Hardware(HardwareFault::Disk), 0, 4, true),
+            ticket(FaultKind::Other, 9, 3, false), // inverted
+        ];
+        let mut report = crate::quality::DataQualityReport::default();
+        let tp = true_positives_audited(&tickets, &mut report);
+        assert_eq!(tp, true_positives(&tickets));
+        assert_eq!(report.false_positives_excluded, 1);
+        assert_eq!(report.invalid_dropped, 1);
+    }
+
+    #[test]
     fn category_breakdown_percentages() {
-        let tickets = [ticket(FaultKind::Hardware(HardwareFault::Disk), 0, 1, false),
+        let tickets = [
+            ticket(FaultKind::Hardware(HardwareFault::Disk), 0, 1, false),
             ticket(FaultKind::Hardware(HardwareFault::Disk), 0, 1, false),
             ticket(FaultKind::Software(SoftwareFault::Timeout), 0, 1, false),
-            ticket(FaultKind::Boot(BootFault::Pxe), 0, 1, false)];
+            ticket(FaultKind::Boot(BootFault::Pxe), 0, 1, false),
+        ];
         let refs: Vec<&RmaTicket> = tickets.iter().collect();
         let rows = category_breakdown(&refs);
         assert_eq!(rows[0].0, FaultKind::Hardware(HardwareFault::Disk));

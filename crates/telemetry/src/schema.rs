@@ -133,10 +133,8 @@ pub fn candidate_features() -> Vec<FeatureDescription> {
 /// The default analysis-dataset schema: every candidate feature plus the
 /// continuous response column [`columns::FAILURE_RATE`].
 pub fn analysis_schema() -> Schema {
-    let mut fields: Vec<Field> = candidate_features()
-        .into_iter()
-        .map(|d| Field::new(d.name, d.kind))
-        .collect();
+    let mut fields: Vec<Field> =
+        candidate_features().into_iter().map(|d| Field::new(d.name, d.kind)).collect();
     fields.push(Field::new(columns::FAILURE_RATE, FeatureKind::Continuous));
     Schema::new(fields)
 }

@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 use crate::{Result, TelemetryError};
 
 /// The type of a feature column (Table III's C / N / O).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum FeatureKind {
     /// Real-valued (temperature, age, rated power).
     Continuous,
@@ -206,8 +204,7 @@ impl TableBuilder {
                 (ColumnData::Continuous(data), Value::Continuous(x)) => data.push(x),
                 (ColumnData::Ordinal(data), Value::Ordinal(x)) => data.push(x),
                 (ColumnData::Nominal { codes, categories }, Value::Nominal(label)) => {
-                    let interner =
-                        self.interners[i].as_mut().expect("nominal column has interner");
+                    let interner = self.interners[i].as_mut().expect("nominal column has interner");
                     let code = *interner.entry(label.clone()).or_insert_with(|| {
                         categories.push(label);
                         (categories.len() - 1) as u32

@@ -18,9 +18,7 @@ const MONTH_DAYS: [u16; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
 pub struct SimTime(pub u64);
 
 /// Day of week, `Sun` through `Sat` (the paper's Fig. 3 x-axis).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DayOfWeek {
     /// Sunday.
     Sun,
@@ -237,9 +235,7 @@ impl fmt::Display for SimTime {
 }
 
 /// Temporal aggregation windows for failure metrics.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TimeGranularity {
     /// One-hour windows.
     Hourly,

@@ -36,8 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Multi-factor: threshold discovery per DC (Fig. 18).
-    let disk_table =
-        rack_day_table(&output, FaultFilter::Component(HardwareFault::Disk), 1)?;
+    let disk_table = rack_day_table(&output, FaultFilter::Component(HardwareFault::Disk), 1)?;
     let cart = CartParams::default().with_min_sizes(400, 200).with_cp(0.002);
     println!();
     for dc in ["DC1", "DC2"] {
@@ -55,11 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  T  > T*            : {:.2}x  (n={})", r.hot.mean / base, r.hot.n);
         }
         if r.hot_dry.n > 0 {
-            println!(
-                "  T  > T*, RH < RH*  : {:.2}x  (n={})",
-                r.hot_dry.mean / base,
-                r.hot_dry.n
-            );
+            println!("  T  > T*, RH < RH*  : {:.2}x  (n={})", r.hot_dry.mean / base, r.hot_dry.n);
         }
     }
     // The paper's closing remark made concrete: what does the cheapest

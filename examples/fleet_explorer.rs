@@ -18,8 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("datacenters:");
     for dc in &output.fleet.datacenters {
         let racks = output.fleet.racks_in(dc.id).count();
-        let servers: u64 =
-            output.fleet.racks_in(dc.id).map(|r| r.servers as u64).sum();
+        let servers: u64 = output.fleet.racks_in(dc.id).map(|r| r.servers as u64).sum();
         println!(
             "  {}: {} ({} nines, {}) — {racks} racks, {servers} servers",
             dc.id,
@@ -54,9 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("\nhardware failures per month:");
     for (key, series) in &monthly {
-        let per_month: Vec<u64> = (0..series.windows)
-            .map(|w| series.nonzero.get(&w).copied().unwrap_or(0))
-            .collect();
+        let per_month: Vec<u64> =
+            (0..series.windows).map(|w| series.nonzero.get(&w).copied().unwrap_or(0)).collect();
         println!("  DC{}: {per_month:?}", key.dc);
     }
 
@@ -67,14 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         output.config.start,
         output.config.end,
     );
-    let worst = per_rack_mu
-        .iter()
-        .max_by_key(|(_, s)| s.max())
-        .expect("fleet has tickets");
-    let rack = output
-        .fleet
-        .rack(rainshine::telemetry::ids::RackId(worst.0.rack))
-        .expect("rack exists");
+    let worst = per_rack_mu.iter().max_by_key(|(_, s)| s.max()).expect("fleet has tickets");
+    let rack =
+        output.fleet.rack(rainshine::telemetry::ids::RackId(worst.0.rack)).expect("rack exists");
     println!(
         "\nworst rack by concurrent failures: {} ({} {} {}, {} servers) — \
          {} devices down in its worst day",

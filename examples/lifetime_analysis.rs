@@ -27,10 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut first_failure: HashMap<RackId, i64> = HashMap::new();
     for t in output.hardware_tickets() {
         let day = t.opened.days() as i64;
-        first_failure
-            .entry(t.location.rack)
-            .and_modify(|d| *d = (*d).min(day))
-            .or_insert(day);
+        first_failure.entry(t.location.rack).and_modify(|d| *d = (*d).min(day)).or_insert(day);
     }
     let mut lifetimes = Vec::new();
     for rack in &output.fleet.racks {

@@ -61,9 +61,8 @@ impl Bencher {
         black_box(routine());
         let probe = probe_start.elapsed().max(Duration::from_nanos(1));
         let budget = Duration::from_millis(300);
-        let per_sample = ((budget.as_nanos() / self.sample_size as u128)
-            / probe.as_nanos())
-        .clamp(1, 10_000) as u32;
+        let per_sample = ((budget.as_nanos() / self.sample_size as u128) / probe.as_nanos())
+            .clamp(1, 10_000) as u32;
 
         self.samples.clear();
         for _ in 0..self.sample_size {
@@ -105,11 +104,7 @@ impl Default for Criterion {
 
 impl Criterion {
     /// Runs a standalone benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(
-        &mut self,
-        name: &str,
-        mut f: F,
-    ) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher { samples: Vec::new(), sample_size: self.default_sample_size };
         f(&mut b);
         b.report(name);

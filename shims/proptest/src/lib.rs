@@ -143,7 +143,7 @@ impl_tuple_strategy! {
 
 /// Collection strategies (`prop::collection::vec`).
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 

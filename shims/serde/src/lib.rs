@@ -392,10 +392,9 @@ impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
 impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
-            Value::Object(pairs) => pairs
-                .iter()
-                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
-                .collect(),
+            Value::Object(pairs) => {
+                pairs.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?))).collect()
+            }
             other => Err(Error::expected("object", other)),
         }
     }

@@ -226,9 +226,7 @@ fn gen_serialize(item: &Item) -> String {
                 .collect();
             format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
         }
-        ItemKind::Struct(Fields::Tuple(1)) => {
-            "::serde::Serialize::to_value(&self.0)".to_string()
-        }
+        ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
         ItemKind::Struct(Fields::Tuple(n)) => {
             let items: Vec<String> =
                 (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
@@ -306,9 +304,9 @@ fn gen_deserialize(item: &Item) -> String {
                 inits.join(" ")
             )
         }
-        ItemKind::Struct(Fields::Tuple(1)) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
-        ),
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
         ItemKind::Struct(Fields::Tuple(n)) => {
             let inits: Vec<String> = (0..*n)
                 .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?,"))

@@ -239,10 +239,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::new(format!(
-                "expected `{}` at byte {}",
-                b as char, self.pos
-            )))
+            Err(Error::new(format!("expected `{}` at byte {}", b as char, self.pos)))
         }
     }
 
@@ -330,10 +327,7 @@ impl<'a> Parser<'a> {
                 }
                 self.pos += 1;
             }
-            out.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(Error::new)?,
-            );
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(Error::new)?);
             match self.peek() {
                 Some(b'"') => {
                     self.pos += 1;
@@ -341,9 +335,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    let esc = self.peek().ok_or_else(|| Error::new("unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -371,10 +363,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -426,10 +415,7 @@ mod tests {
             ("rate".to_string(), Value::F64(0.5)),
             ("tags".to_string(), Value::Array(vec![Value::I64(1), Value::I64(2)])),
         ]);
-        assert_eq!(
-            to_string(&v).unwrap(),
-            r#"{"name":"dc1","racks":331,"rate":0.5,"tags":[1,2]}"#
-        );
+        assert_eq!(to_string(&v).unwrap(), r#"{"name":"dc1","racks":331,"rate":0.5,"tags":[1,2]}"#);
         let pretty = to_string_pretty(&v).unwrap();
         assert!(pretty.contains("\n  \"name\": \"dc1\""));
     }
@@ -442,7 +428,8 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        let text = r#"{"a": [1, -2, 3.5, null, true], "b": "x\ny", "c": {"d": 18446744073709551615}}"#;
+        let text =
+            r#"{"a": [1, -2, 3.5, null, true], "b": "x\ny", "c": {"d": 18446744073709551615}}"#;
         let v: Value = from_str(text).unwrap();
         let back = to_string(&v).unwrap();
         let v2: Value = from_str(&back).unwrap();

@@ -11,9 +11,7 @@ use rainshine::analysis::q3::{dc_subset, env_analysis};
 use rainshine::cart::dataset::CartDataset;
 use rainshine::cart::forest::{Forest, ForestParams};
 use rainshine::cart::params::CartParams;
-use rainshine::cart::pdp::{
-    grid_over_column, partial_dependence_continuous_with, PdpParams,
-};
+use rainshine::cart::pdp::{grid_over_column, partial_dependence_continuous_with, PdpParams};
 use rainshine::cart::tree::Tree;
 use rainshine::dcsim::{FleetConfig, Simulation};
 use rainshine::parallel::Parallelism;
@@ -45,12 +43,8 @@ fn pipeline(parallelism: Parallelism) -> Vec<(&'static str, String)> {
     )
     .expect("analysis schema has these columns");
     let tree_params = CartParams::default().with_min_sizes(100, 50).with_cp(0.001);
-    let forest_params = ForestParams {
-        trees: 8,
-        parallelism,
-        tree_params,
-        ..ForestParams::default()
-    };
+    let forest_params =
+        ForestParams { trees: 8, parallelism, tree_params, ..ForestParams::default() };
     let forest = Forest::fit(&ds, &forest_params).expect("forest fits");
     stages.push(("cart/forest", json(&forest)));
 
@@ -87,10 +81,8 @@ fn pipeline(parallelism: Parallelism) -> Vec<(&'static str, String)> {
     stages.push(("q3/dc1", json(&q3)));
 
     // stats: seeded bootstrap fans out per replicate.
-    let rates: Vec<f64> = table
-        .continuous(columns::FAILURE_RATE)
-        .expect("response column")
-        .to_vec();
+    let rates: Vec<f64> =
+        table.continuous(columns::FAILURE_RATE).expect("response column").to_vec();
     let ci = bootstrap_ci_seeded(&rates, 200, 0.95, 7, parallelism, |xs| {
         xs.iter().sum::<f64>() / xs.len() as f64
     })

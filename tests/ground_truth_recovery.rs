@@ -33,11 +33,8 @@ fn fig2_dc1_regions_fail_more_than_dc2() {
         .filter(|r| r.label.starts_with("DC1"))
         .map(|r| r.mean)
         .fold(f64::INFINITY, f64::min);
-    let dc2_max = rows
-        .iter()
-        .filter(|r| r.label.starts_with("DC2"))
-        .map(|r| r.mean)
-        .fold(0.0f64, f64::max);
+    let dc2_max =
+        rows.iter().filter(|r| r.label.starts_with("DC2")).map(|r| r.mean).fold(0.0f64, f64::max);
     // The planted region factors are 0.95-1.25 (DC1) vs 0.7-0.8 (DC2), and
     // DC1 additionally runs hotter.
     assert!(dc1_min > dc2_max, "DC1 min {dc1_min} vs DC2 max {dc2_max}");
@@ -63,11 +60,8 @@ fn fig3_weekday_effect_recovered() {
 fn fig4_second_half_of_year_elevated() {
     let rows = evidence::by_month(hw_table(), 0).unwrap();
     let half = |months: &[&str]| {
-        let vals: Vec<f64> = rows
-            .iter()
-            .filter(|r| months.contains(&r.label.as_str()))
-            .map(|r| r.mean)
-            .collect();
+        let vals: Vec<f64> =
+            rows.iter().filter(|r| months.contains(&r.label.as_str())).map(|r| r.mean).collect();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
     let h1 = half(&["Jan", "Feb", "Mar", "Apr", "May", "Jun"]);
@@ -132,17 +126,13 @@ fn cart_importance_ranks_planted_drivers_over_noise() {
     let tree =
         Tree::fit(&ds, &CartParams::default().with_min_sizes(400, 200).with_cp(0.001)).unwrap();
     let importance = tree.variable_importance();
-    let score = |name: &str| {
-        importance.iter().find(|(n, _)| n == name).map(|(_, s)| *s).unwrap_or(0.0)
-    };
+    let score =
+        |name: &str| importance.iter().find(|(n, _)| n == name).map(|(_, s)| *s).unwrap_or(0.0);
     assert!(
         score(columns::SKU) + score(columns::WORKLOAD) + score(columns::DATACENTER) > 50.0,
         "planted drivers should dominate: {importance:?}"
     );
-    assert!(
-        score(columns::WEEK) < 10.0,
-        "week-of-year should be weak: {importance:?}"
-    );
+    assert!(score(columns::WEEK) < 10.0, "week-of-year should be weak: {importance:?}");
 }
 
 #[test]
@@ -159,14 +149,12 @@ fn burst_prone_cohorts_have_heavier_mu_tails() {
         out.config.end,
     );
     let windows = out.config.hazard.burst_bad_lot_windows.clone();
-    let in_lot =
-        |day: i64| windows.iter().any(|&(lo, hi)| (lo..=hi).contains(&day));
+    let in_lot = |day: i64| windows.iter().any(|&(lo, hi)| (lo..=hi).contains(&day));
     let mut lot_peaks = Vec::new();
     let mut quiet_peaks = Vec::new();
     for rack in &out.fleet.racks {
         let key = SpatialGranularity::Rack.key(&rack.server_location(0));
-        let peak = mu.get(&key).map(|s| s.max() as f64).unwrap_or(0.0)
-            / rack.servers as f64;
+        let peak = mu.get(&key).map(|s| s.max() as f64).unwrap_or(0.0) / rack.servers as f64;
         if in_lot(rack.commissioned_day) {
             lot_peaks.push(peak);
         } else {

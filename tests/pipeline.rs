@@ -153,8 +153,7 @@ fn table_ii_mix_tracks_the_paper() {
     let share = |pred: &dyn Fn(&rainshine::telemetry::rma::FaultKind) -> bool| {
         tp.iter().filter(|t| pred(&t.fault)).count() as f64 / total
     };
-    let software =
-        share(&|f| matches!(f, rainshine::telemetry::rma::FaultKind::Software(_)));
+    let software = share(&|f| matches!(f, rainshine::telemetry::rma::FaultKind::Software(_)));
     let hardware = share(&|f| f.is_hardware());
     let boot = share(&|f| matches!(f, rainshine::telemetry::rma::FaultKind::Boot(_)));
     // Paper: software 45-55%, hardware 20-30%, boot 12-14%.
