@@ -1,11 +1,16 @@
 #!/usr/bin/env sh
-# Local CI gate: formatting, release build, full test suite, lint-clean
-# clippy. Run from the repository root. Fails fast on the first broken step.
+# Local CI gate: formatting, release build, full test suite, the dirty-
+# pipeline e2e gate, lint-clean clippy. Run from the repository root.
+# Fails fast on the first broken step.
 set -eu
 
 cargo fmt --check
 cargo build --release --workspace
 cargo test --workspace -q
+# The robustness claim, pinned explicitly: the full experiment suite and
+# the report byte-identity contract must hold on corrupted input.
+cargo test -q --test dirty_data
+cargo test -q --test determinism run_report_bytes_do_not_depend_on_thread_count
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "ci: all green"

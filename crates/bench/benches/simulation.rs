@@ -60,6 +60,15 @@ fn bench_full_run(c: &mut Criterion) {
             b.iter(|| Simulation::new(config.clone(), 42).run())
         });
     }
+    // Instrumented variant: the obs overhead budget is <= 5% over the
+    // uninstrumented medium run above.
+    let config = FleetConfig::medium();
+    group.bench_with_input(BenchmarkId::from_parameter("medium_obs"), &config, |b, config| {
+        b.iter(|| {
+            let obs = rainshine_obs::Obs::enabled();
+            Simulation::new(config.clone(), 42).run_with_obs(&obs)
+        })
+    });
     group.finish();
 }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! experiments [--scale small|medium|paper] [--seed N] [--out DIR] [--only ID[,ID...]]
 //!             [--threads N|auto] [--corrupt RATE] [--corrupt-spec k=v,...]
+//!             [--report PATH]
 //! ```
 //!
 //! `--threads` controls the worker-thread count of the parallel stages
@@ -13,14 +14,21 @@
 //! ingestion pipeline runs; the data-quality report is printed to stderr so
 //! corruption scenarios are reproducible from the CLI.
 //!
+//! `--report PATH` writes the deterministic section of the run report
+//! (stage call/item counts, counters, histograms, the data-quality payload)
+//! as JSON. Those bytes are identical for a fixed (scale, seed, corruption)
+//! at any `--threads` setting; wall-clock timings go only to the stderr
+//! summary printed at the end of every run.
+//!
 //! Writes one CSV per artifact into the output directory (default
 //! `results/`) and prints a preview of each.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rainshine_bench::{run_experiment, ExperimentContext, Scale, ALL_EXPERIMENTS};
+use rainshine_bench::{run_experiment, run_report, ExperimentContext, Scale, ALL_EXPERIMENTS};
 use rainshine_dcsim::CorruptionConfig;
+use rainshine_obs::Obs;
 use rainshine_parallel::Parallelism;
 
 struct Args {
@@ -30,6 +38,7 @@ struct Args {
     only: Option<Vec<String>>,
     threads: Parallelism,
     corruption: CorruptionConfig,
+    report: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         only: None,
         threads: Parallelism::Auto,
         corruption: CorruptionConfig::default(),
+        report: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,10 +76,11 @@ fn parse_args() -> Result<Args, String> {
             "--corrupt-spec" => {
                 args.corruption = CorruptionConfig::parse_spec(&value("--corrupt-spec")?)?;
             }
+            "--report" => args.report = Some(PathBuf::from(value("--report")?)),
             "--help" | "-h" => {
                 return Err("usage: experiments [--scale small|medium|paper] [--seed N] \
                      [--out DIR] [--only ID[,ID...]] [--threads N|auto] \
-                     [--corrupt RATE] [--corrupt-spec k=v,...]"
+                     [--corrupt RATE] [--corrupt-spec k=v,...] [--report PATH]"
                     .to_owned());
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -94,33 +105,46 @@ fn main() -> ExitCode {
         "simulating fleet ({:?} scale, seed {}, {:?}) ...",
         args.scale, args.seed, args.threads
     );
-    let t0 = std::time::Instant::now();
-    let mut ctx = ExperimentContext::new_with_corruption(
+    // The obs handle replaces ad-hoc Instant timing: the simulation and
+    // every experiment record stage spans, and the wall times surface in
+    // the stderr summary below.
+    let obs = Obs::enabled();
+    let mut ctx = ExperimentContext::new_with_obs(
         args.scale,
         args.seed,
         args.threads,
         args.corruption,
+        obs.clone(),
     );
     eprintln!(
-        "simulated {} racks, {} tickets in {:.1?}\n",
+        "simulated {} racks, {} tickets\n",
         ctx.output.fleet.racks.len(),
         ctx.output.tickets.len(),
-        t0.elapsed()
     );
     if ctx.output.config.corruption.is_enabled() {
         eprintln!("{}\n", ctx.output.quality);
     }
     let mut failures = 0;
     for id in &ids {
-        let t = std::time::Instant::now();
         match run_experiment(id, &mut ctx, &args.out) {
             Ok(preview) => {
-                println!("=== {id} ({:.1?}) ===\n{preview}", t.elapsed());
+                println!("=== {id} ===\n{preview}");
             }
             Err(e) => {
                 eprintln!("experiment {id} FAILED: {e}");
                 failures += 1;
             }
+        }
+    }
+    let report = run_report(&obs, &ctx.output, args.scale, args.seed);
+    eprintln!("{}", report.human_summary());
+    let mut report_failed = false;
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, report.deterministic_json() + "\n") {
+            eprintln!("failed to write report {}: {e}", path.display());
+            report_failed = true;
+        } else {
+            eprintln!("report written to {}", path.display());
         }
     }
     eprintln!(
@@ -129,7 +153,7 @@ fn main() -> ExitCode {
         ids.len(),
         args.out.display()
     );
-    if failures > 0 {
+    if failures > 0 || report_failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

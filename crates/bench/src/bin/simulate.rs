@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! simulate [--scale small|medium|paper] [--seed N] [--out DIR] [--threads N|auto]
-//!          [--corrupt RATE] [--corrupt-spec k=v,...]
+//!          [--corrupt RATE] [--corrupt-spec k=v,...] [--report PATH]
 //! ```
 //!
 //! `--threads` controls how many worker threads the simulator's per-rack
@@ -16,6 +16,12 @@
 //! (`duplicate=0.02,blackout_windows=1,...`). With corruption enabled the
 //! data-quality report is printed to stderr and written to the manifest.
 //!
+//! `--report PATH` instruments the run and writes the deterministic
+//! section of the run report (stage call/item counts, counters, quality
+//! payload) as JSON; the bytes are identical at any `--threads` setting
+//! for a fixed (scale, seed, corruption). The human-readable summary with
+//! wall-clock times goes to stderr.
+//!
 //! Writes `fleet.csv` (rack inventory), `tickets.csv` (the sanitized RMA
 //! stream, false positives flagged), `environment.csv` (daily ingested
 //! inlet conditions per DC-region; blacked-out cells are `nan`), and
@@ -27,6 +33,7 @@ use std::process::ExitCode;
 
 use rainshine_bench::Scale;
 use rainshine_dcsim::{CorruptionConfig, Simulation};
+use rainshine_obs::Obs;
 use rainshine_parallel::Parallelism;
 use rainshine_telemetry::ids::{DcId, RegionId};
 
@@ -36,6 +43,7 @@ fn main() -> ExitCode {
     let mut out = PathBuf::from("dataset");
     let mut threads = Parallelism::Auto;
     let mut corruption = CorruptionConfig::default();
+    let mut report_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("missing value for {name}"));
@@ -55,10 +63,11 @@ fn main() -> ExitCode {
                 "--corrupt-spec" => {
                     corruption = CorruptionConfig::parse_spec(&value("--corrupt-spec")?)?;
                 }
+                "--report" => report_path = Some(PathBuf::from(value("--report")?)),
                 "--help" | "-h" => {
                     return Err("usage: simulate [--scale small|medium|paper] [--seed N] \
                                 [--out DIR] [--threads N|auto] [--corrupt RATE] \
-                                [--corrupt-spec k=v,...]"
+                                [--corrupt-spec k=v,...] [--report PATH]"
                         .into())
                 }
                 other => return Err(format!("unknown flag `{other}`")),
@@ -79,9 +88,19 @@ fn main() -> ExitCode {
     config.parallelism = threads;
     config.corruption = corruption;
     eprintln!("simulating ({scale:?}, seed {seed}, {threads:?}) ...");
-    let output = Simulation::new(config, seed).run();
+    let obs = if report_path.is_some() { Obs::enabled() } else { Obs::disabled() };
+    let output = Simulation::new(config, seed).run_with_obs(&obs);
     if output.config.corruption.is_enabled() {
         eprintln!("{}", output.quality);
+    }
+    if let Some(path) = &report_path {
+        let report = rainshine_bench::run_report(&obs, &output, scale, seed);
+        eprintln!("{}", report.human_summary());
+        if let Err(e) = fs::write(path, report.deterministic_json() + "\n") {
+            eprintln!("failed to write report {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report written to {}", path.display());
     }
     if let Err(e) = write_dataset(&output, &out) {
         eprintln!("failed to write dataset: {e}");

@@ -61,12 +61,44 @@ impl Scale {
             Scale::Paper => FleetConfig::paper_scale(),
         }
     }
+
+    /// The flag spelling (`small` / `medium` / `paper`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// Builds the run report for a finished (or in-progress) run: the obs
+/// snapshot plus run metadata and the sanitizer's data-quality payload.
+///
+/// The thread count is deliberately *not* recorded: the deterministic
+/// section must stay byte-identical at every `Parallelism` setting.
+pub fn run_report(
+    obs: &rainshine_obs::Obs,
+    output: &SimulationOutput,
+    scale: Scale,
+    seed: u64,
+) -> rainshine_obs::RunReport {
+    let mut report = rainshine_obs::RunReport::from_collector(&obs.snapshot());
+    report.set_meta("scale", serde::Value::Str(scale.name().to_string()));
+    report.set_meta("seed", serde::Value::U64(seed));
+    report.set_meta("corruption", serde::Serialize::to_value(&output.config.corruption));
+    report.set_quality(serde::Serialize::to_value(&output.quality));
+    report
 }
 
 /// Shared state across experiments: one simulation run plus cached tables.
 pub struct ExperimentContext {
     /// The simulation output all experiments read.
     pub output: SimulationOutput,
+    /// The observability handle the simulation recorded into; experiments
+    /// keep recording into it as they run. Disabled unless the context was
+    /// built with [`ExperimentContext::new_with_obs`].
+    pub obs: rainshine_obs::Obs,
     scale: Scale,
     all_hw: Option<Table>,
     disk: Option<Table>,
@@ -104,11 +136,27 @@ impl ExperimentContext {
         parallelism: rainshine_parallel::Parallelism,
         corruption: rainshine_dcsim::CorruptionConfig,
     ) -> Self {
+        Self::new_with_obs(scale, seed, parallelism, corruption, rainshine_obs::Obs::disabled())
+    }
+
+    /// [`ExperimentContext::new_with_corruption`] with an instrumentation
+    /// handle: the simulation and every subsequent [`run_experiment`] call
+    /// record stage counts and timings into `obs`. The deterministic
+    /// section of the resulting report is byte-identical for a fixed
+    /// (scale, seed, corruption) at every `parallelism` setting.
+    pub fn new_with_obs(
+        scale: Scale,
+        seed: u64,
+        parallelism: rainshine_parallel::Parallelism,
+        corruption: rainshine_dcsim::CorruptionConfig,
+        obs: rainshine_obs::Obs,
+    ) -> Self {
         let mut config = scale.config();
         config.parallelism = parallelism;
         config.corruption = corruption;
         ExperimentContext {
-            output: Simulation::new(config, seed).run(),
+            output: Simulation::new(config, seed).run_with_obs(&obs),
+            obs,
             scale,
             all_hw: None,
             disk: None,
@@ -190,6 +238,18 @@ pub type ExperimentError = Box<dyn std::error::Error + Send + Sync + 'static>;
 ///
 /// Returns an error for unknown ids, analysis failures, or I/O failures.
 pub fn run_experiment(
+    id: &str,
+    ctx: &mut ExperimentContext,
+    out_dir: &Path,
+) -> Result<String, ExperimentError> {
+    let obs = ctx.obs.clone();
+    let _span = obs.span_owned(format!("experiment.{id}"));
+    let result = dispatch(id, ctx, out_dir);
+    obs.incr(if result.is_ok() { "experiments.ok" } else { "experiments.failed" }, 1);
+    result
+}
+
+fn dispatch(
     id: &str,
     ctx: &mut ExperimentContext,
     out_dir: &Path,

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use rainshine_obs::{Collector, Obs};
 use rainshine_parallel::{derive_seed, par_map_range, Parallelism};
 use rainshine_telemetry::table::Table;
 use rand::seq::SliceRandom;
@@ -85,16 +86,39 @@ impl Forest {
     /// Returns an error for invalid parameters, a classification dataset,
     /// or an empty dataset.
     pub fn fit(dataset: &CartDataset<'_>, params: &ForestParams) -> Result<Self> {
+        Self::fit_with_obs(dataset, params, &Obs::disabled())
+    }
+
+    /// [`Forest::fit`] with observability: records a `forest.fit` span,
+    /// one `forest.fit_tree` stage call per member tree (timed inside the
+    /// worker), and a `forest.tree_nodes` histogram.
+    ///
+    /// Workers write into **local** collectors which are merged in
+    /// tree-index order before being absorbed into `obs`, so everything
+    /// except wall time is identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Forest::fit`].
+    pub fn fit_with_obs(
+        dataset: &CartDataset<'_>,
+        params: &ForestParams,
+        obs: &Obs,
+    ) -> Result<Self> {
+        let mut fit_span = obs.span("forest.fit");
         params.validate()?;
         let Target::Regression(y) = dataset.target() else {
             return Err(CartError::TargetKind { expected: "continuous" });
         };
+        fit_span.add_items(params.trees as u64);
         let n = dataset.len();
         let sample_size = ((n as f64 * params.sample_fraction).round() as usize).max(1);
+        let record = obs.is_enabled();
         // Each tree draws its bootstrap sample from an RNG seeded by
         // `seed ^ tree_index`, so trees can fit on any thread in any
         // order and still land on identical results.
         let fitted = par_map_range(params.parallelism, params.trees, |tree_index| {
+            let started = record.then(std::time::Instant::now);
             let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed ^ tree_index as u64);
             let mut in_bag = vec![false; n];
             let rows: Vec<usize> = (0..sample_size)
@@ -106,23 +130,34 @@ impl Forest {
                 .collect();
             let tree = Tree::fit_on_rows(dataset, &params.tree_params, &rows)?;
             let predictions = tree.predict(dataset.table())?;
-            Ok::<_, CartError>((tree, in_bag, predictions))
+            let mut local = Collector::new();
+            if let Some(t) = started {
+                let nanos = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                local.record_stage("forest.fit_tree", sample_size as u64, nanos);
+                local.observe("forest.tree_nodes", tree.nodes().len() as u64);
+            }
+            Ok::<_, CartError>((tree, in_bag, predictions, local))
         });
         // Out-of-bag accumulation, merged sequentially in tree-index
-        // order so float summation order is fixed.
+        // order so float summation order is fixed; per-tree collectors
+        // fold into one in the same order.
         let mut trees = Vec::with_capacity(params.trees);
         let mut oob_sum = vec![0.0f64; n];
         let mut oob_count = vec![0u32; n];
+        let mut merged = Collector::new();
         for result in fitted {
-            let (tree, in_bag, predictions): (Tree, Vec<bool>, Vec<f64>) = result?;
+            let (tree, in_bag, predictions, local): (Tree, Vec<bool>, Vec<f64>, Collector) =
+                result?;
             for (row, &pred) in predictions.iter().enumerate() {
                 if !in_bag[row] {
                     oob_sum[row] += pred;
                     oob_count[row] += 1;
                 }
             }
+            merged.merge(&local);
             trees.push(tree);
         }
+        obs.absorb(&merged);
         let mut mse_sum = 0.0;
         let mut covered = 0usize;
         for row in 0..n {
@@ -400,6 +435,26 @@ mod tests {
         let a = sequential.permutation_importance_with(&ds, 11, Parallelism::Sequential).unwrap();
         let b = sequential.permutation_importance_with(&ds, 11, Parallelism::Threads(4)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn obs_deterministic_section_is_thread_invariant() {
+        let t = table(300);
+        let ds = CartDataset::regression(&t, "y", &["signal", "noise"]).unwrap();
+        let deterministic = |par: Parallelism| {
+            let mut p = forest_params();
+            p.parallelism = par;
+            let obs = rainshine_obs::Obs::enabled();
+            Forest::fit_with_obs(&ds, &p, &obs).unwrap();
+            let report = rainshine_obs::RunReport::from_collector(&obs.snapshot());
+            report.deterministic_json()
+        };
+        let sequential = deterministic(Parallelism::Sequential);
+        assert!(sequential.contains("forest.fit_tree"));
+        assert!(sequential.contains("forest.tree_nodes"));
+        for par in [Parallelism::Threads(2), Parallelism::Threads(8)] {
+            assert_eq!(sequential, deterministic(par), "{par:?}");
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use rainshine_obs::Obs;
 use rainshine_parallel::{par_map, Parallelism};
 use rainshine_stats::hist::Binner;
 use rainshine_telemetry::table::Table;
@@ -166,6 +167,27 @@ pub fn partial_dependence_continuous_with(
     })
     .into_iter()
     .collect()
+}
+
+/// [`partial_dependence_continuous_with`] with observability: records a
+/// `pdp.grid` span whose item count is `grid points × rows`, plus a
+/// `pdp.grid_points` counter.
+///
+/// # Errors
+///
+/// See [`partial_dependence_continuous`].
+pub fn partial_dependence_continuous_obs(
+    tree: &Tree,
+    table: &Table,
+    feature: &str,
+    grid: &[f64],
+    params: &PdpParams,
+    obs: &Obs,
+) -> Result<Vec<PdpPoint>> {
+    let mut span = obs.span("pdp.grid");
+    span.add_items((grid.len() * table.rows()) as u64);
+    obs.incr("pdp.grid_points", grid.len() as u64);
+    partial_dependence_continuous_with(tree, table, feature, grid, params)
 }
 
 /// Grid partial dependence for a nominal feature: one mean prediction per

@@ -175,6 +175,23 @@ pub fn cross_validate(
     folds: usize,
     seed: u64,
 ) -> Result<CvResult> {
+    cross_validate_with_obs(dataset, params, folds, seed, &rainshine_obs::Obs::disabled())
+}
+
+/// [`cross_validate`] with observability: records a `prune.cross_validate`
+/// span whose item count is `folds × candidate cp values`.
+///
+/// # Errors
+///
+/// Same conditions as [`cross_validate`].
+pub fn cross_validate_with_obs(
+    dataset: &CartDataset<'_>,
+    params: &CartParams,
+    folds: usize,
+    seed: u64,
+    obs: &rainshine_obs::Obs,
+) -> Result<CvResult> {
+    let mut span = obs.span("prune.cross_validate");
     let n = dataset.len();
     if folds < 2 || folds > n {
         return Err(CartError::TooManyFolds { folds, rows: n });
@@ -194,6 +211,7 @@ pub fn cross_validate(
     }
     candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite cp"));
     candidates.dedup();
+    span.add_items((folds * candidates.len()) as u64);
 
     let mut rows: Vec<usize> = (0..n).collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

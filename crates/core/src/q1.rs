@@ -110,21 +110,12 @@ impl RackDeficits {
 }
 
 /// Quantile of a distribution given its non-zero values and the total
-/// observation count (the remainder are zeros).
+/// observation count (the remainder are zeros). Delegates to the shared
+/// zero-mass-aware helper in `rainshine-stats`.
 fn quantile_with_zeros(nonzero: &[u64], total: u64, q: f64) -> u64 {
-    if total == 0 {
-        return 0;
-    }
-    let q = q.clamp(0.0, 1.0);
-    let rank = (q * total as f64).ceil().max(1.0) as u64;
-    let zeros = total - (nonzero.len() as u64).min(total);
-    if rank <= zeros {
-        return 0;
-    }
     let mut sorted = nonzero.to_vec();
     sorted.sort_unstable();
-    let idx = (rank - zeros - 1) as usize;
-    sorted[idx.min(sorted.len().saturating_sub(1))]
+    rainshine_stats::ecdf::quantile_with_zeros(&sorted, total, q)
 }
 
 /// Fractional-deficit quantile pooled across racks (SF / per-cluster MF).
@@ -135,18 +126,8 @@ fn pooled_fraction_quantile(racks: &[&RackDeficits], q: f64) -> f64 {
         total += r.active_windows;
         fractions.extend(r.deficits.iter().map(|&d| d as f64 / r.servers as f64));
     }
-    if total == 0 {
-        return 0.0;
-    }
-    let q = q.clamp(0.0, 1.0);
-    let rank = (q * total as f64).ceil().max(1.0) as u64;
-    let zeros = total - (fractions.len() as u64).min(total);
-    if rank <= zeros {
-        return 0.0;
-    }
-    fractions.sort_by(|a, b| a.partial_cmp(b).expect("finite fractions"));
-    let idx = (rank - zeros - 1) as usize;
-    fractions[idx.min(fractions.len().saturating_sub(1))]
+    fractions.sort_by(f64::total_cmp);
+    rainshine_stats::ecdf::quantile_with_zeros(&fractions, total, q)
 }
 
 /// Computes per-rack deficits for the racks of one workload under `filter`.

@@ -1,5 +1,6 @@
 //! Top-level simulation driver.
 
+use rainshine_obs::Obs;
 use rainshine_parallel::derive_seed;
 use rainshine_telemetry::ids::{DcId, RackId, RegionId};
 use rainshine_telemetry::quality::{DataQualityReport, DefectClass, Sanitizer, SanitizerConfig};
@@ -57,24 +58,67 @@ impl Simulation {
     /// Panics if the configuration is invalid; validate with
     /// [`FleetConfig::validate`] first if the config is untrusted.
     pub fn run(self) -> SimulationOutput {
+        self.run_with_obs(&Obs::disabled())
+    }
+
+    /// [`Simulation::run`] with observability: each pipeline stage records
+    /// a span (generation, false positives, corruption, sanitizer, env
+    /// audit) plus ticket/row counters on `obs`. Every recorded counter and
+    /// item count is a pure function of `(config, seed)`, so the
+    /// deterministic report section is identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulation::run`].
+    pub fn run_with_obs(self, obs: &Obs) -> SimulationOutput {
+        let mut run_span = obs.span("dcsim.run");
         self.config.validate().expect("invalid simulation config");
-        let fleet = Fleet::build(&self.config);
-        let env = EnvModel::paper_layout(self.seed);
+        let fleet = {
+            let _span = obs.span("dcsim.fleet_build");
+            Fleet::build(&self.config)
+        };
+        obs.incr("fleet.racks", fleet.racks.len() as u64);
+        let env = {
+            let _span = obs.span("dcsim.env_model");
+            EnvModel::paper_layout(self.seed)
+        };
         let par = self.config.parallelism;
-        let mut all = tickets::generate_hardware_par(&fleet, &self.config, &env, self.seed, par);
-        all.extend(tickets::generate_bursts_par(&fleet, &self.config, self.seed, par));
-        let non_hw = tickets::generate_non_hardware_par(&fleet, &self.config, &all, self.seed, par);
-        all.extend(non_hw);
-        let mut fp_rng =
-            StdRng::seed_from_u64(derive_seed(self.seed, tickets::STREAM_FALSE_POSITIVES, 0));
-        let fps = tickets::inject_false_positives(
-            &all,
-            self.config.false_positive_rate,
-            self.config.end,
-            &mut fp_rng,
-        );
-        all.extend(fps);
+        let mut all = {
+            let mut span = obs.span("dcsim.tickets_hardware");
+            let hw = tickets::generate_hardware_par(&fleet, &self.config, &env, self.seed, par);
+            span.add_items(hw.len() as u64);
+            hw
+        };
+        {
+            let mut span = obs.span("dcsim.tickets_bursts");
+            let bursts = tickets::generate_bursts_par(&fleet, &self.config, self.seed, par);
+            span.add_items(bursts.len() as u64);
+            all.extend(bursts);
+        }
+        {
+            let mut span = obs.span("dcsim.tickets_non_hardware");
+            let non_hw =
+                tickets::generate_non_hardware_par(&fleet, &self.config, &all, self.seed, par);
+            span.add_items(non_hw.len() as u64);
+            all.extend(non_hw);
+        }
+        {
+            let mut span = obs.span("dcsim.false_positives");
+            let mut fp_rng =
+                StdRng::seed_from_u64(derive_seed(self.seed, tickets::STREAM_FALSE_POSITIVES, 0));
+            let fps = tickets::inject_false_positives(
+                &all,
+                self.config.false_positive_rate,
+                self.config.end,
+                &mut fp_rng,
+            );
+            span.add_items(fps.len() as u64);
+            obs.incr("tickets.false_positives", fps.len() as u64);
+            all.extend(fps);
+        }
         all.sort_by_key(|t| (t.opened, t.location.rack, t.device));
+        obs.incr("tickets.generated", all.len() as u64);
+        obs.observe("tickets.per_rack_mean", (all.len() / fleet.racks.len().max(1)) as u64);
 
         // Dirty-data injection (off by default) followed by the robust
         // ingestion pass. The sanitizer always runs: on a pristine stream
@@ -87,6 +131,7 @@ impl Simulation {
         let start_day = self.config.start.hours() / 24;
         let end_day = start_day + self.config.span_days();
         if corruption_cfg.is_enabled() {
+            let mut span = obs.span("dcsim.corruption");
             let mut rng =
                 StdRng::seed_from_u64(derive_seed(self.seed, corruption::STREAM_CORRUPTION, 0));
             injection = corruption::corrupt_tickets(
@@ -108,24 +153,34 @@ impl Simulation {
             );
             injection.spiked_cells = sensor_faults.spiked_cells();
             injection.blackout_cells = sensor_faults.blackout_cells();
+            span.add_items(injection.total_ticket_defects());
+            obs.incr("corruption.defects_injected", injection.total_ticket_defects());
         }
 
         let sanitizer = Sanitizer::new(
             fleet.manifest(),
             SanitizerConfig::for_span(self.config.start, self.config.end),
         );
-        let (tickets, mut quality) = sanitizer.sanitize(&all);
+        let (tickets, mut quality) = {
+            let mut span = obs.span("dcsim.sanitize");
+            span.add_items(all.len() as u64);
+            sanitizer.sanitize(&all)
+        };
+        obs.incr("tickets.sanitized", tickets.len() as u64);
+        obs.incr("tickets.quarantined", all.len().saturating_sub(tickets.len()) as u64);
 
         // Environment-sensor audit: replay every (DC, region, day) cell
         // through the ingestion bounds so blackouts and spikes show up in
         // the report. Skipped when corruption is off — the sensors are
         // clean by construction.
         if corruption_cfg.is_enabled() {
+            let mut span = obs.span("dcsim.env_audit");
             let bounds = sanitizer.config().bounds;
             for d in &fleet.datacenters {
                 for region in 1..=d.regions {
                     let region = RegionId(region);
                     for day in start_day..end_day {
+                        span.add_items(1);
                         quality.env_cells_seen += 1;
                         if sensor_faults.is_blacked_out(d.id, region, day) {
                             quality.record(DefectClass::SensorBlackout, false);
@@ -141,6 +196,7 @@ impl Simulation {
                 }
             }
         }
+        run_span.add_items(tickets.len() as u64);
 
         SimulationOutput {
             config: self.config,

@@ -4,6 +4,7 @@
 //! SKU comparison (Q2) and environmental analysis (Q3), where the paper shows
 //! error bars.
 
+use rainshine_obs::Obs;
 use rainshine_parallel::{derive_seed, par_map_range, Parallelism};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +27,10 @@ pub struct ConfidenceInterval {
     pub upper: f64,
     /// Confidence level, e.g. `0.95`.
     pub level: f64,
+    /// Replicates whose statistic came out non-finite and were dropped
+    /// from the bootstrap distribution before taking percentiles. A large
+    /// value means the interval rests on few effective replicates.
+    pub non_finite_replicates: usize,
 }
 
 impl ConfidenceInterval {
@@ -44,12 +49,16 @@ impl ConfidenceInterval {
 ///
 /// Resamples `data` with replacement `resamples` times, evaluates `statistic`
 /// on each resample, and reports the `(1−level)/2` and `(1+level)/2`
-/// percentiles of the bootstrap distribution.
+/// percentiles of the bootstrap distribution. Replicates on which the
+/// statistic is non-finite (NaN/∞ — e.g. a ratio statistic hitting an
+/// all-zero resample of a dirty fleet) are dropped and counted in
+/// [`ConfidenceInterval::non_finite_replicates`] rather than aborting.
 ///
 /// # Errors
 ///
-/// Returns an error for empty/non-finite data, `level` outside `(0, 1)`, or
-/// zero resamples.
+/// Returns an error for empty/non-finite data, `level` outside `(0, 1)`,
+/// zero resamples, or ([`StatsError::NonFiniteStatistic`]) when the
+/// statistic is non-finite on the original sample or on every replicate.
 ///
 /// # Example
 ///
@@ -94,12 +103,7 @@ where
         }
         stats.push(statistic(&buf));
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistic produced NaN"));
-    let alpha = (1.0 - level) / 2.0;
-    let lo_idx = ((alpha * resamples as f64).floor() as usize).min(resamples - 1);
-    let hi_idx =
-        (((1.0 - alpha) * resamples as f64).ceil() as usize).saturating_sub(1).min(resamples - 1);
-    Ok(ConfidenceInterval { estimate, lower: stats[lo_idx], upper: stats[hi_idx], level })
+    percentile_interval(estimate, stats, level)
 }
 
 /// [`bootstrap_ci`] with per-replicate derived seeds, evaluated in
@@ -126,6 +130,37 @@ pub fn bootstrap_ci_seeded<F>(
 where
     F: Fn(&[f64]) -> f64 + Sync,
 {
+    bootstrap_ci_seeded_with_obs(
+        data,
+        resamples,
+        level,
+        seed,
+        parallelism,
+        &Obs::disabled(),
+        statistic,
+    )
+}
+
+/// [`bootstrap_ci_seeded`] with observability: records a
+/// `stats.bootstrap_ci` span plus `bootstrap.replicates` /
+/// `bootstrap.non_finite_replicates` counters on `obs`.
+///
+/// # Errors
+///
+/// Same conditions as [`bootstrap_ci_seeded`].
+pub fn bootstrap_ci_seeded_with_obs<F>(
+    data: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+    parallelism: Parallelism,
+    obs: &Obs,
+    statistic: F,
+) -> Result<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    let mut span = obs.span("stats.bootstrap_ci");
     ensure_sample(data)?;
     if !(0.0 < level && level < 1.0) {
         return Err(StatsError::InvalidProbability { value: level });
@@ -133,14 +168,15 @@ where
     if resamples == 0 {
         return Err(StatsError::DegenerateDimension { what: "zero bootstrap resamples" });
     }
+    span.add_items(resamples as u64);
     let estimate = statistic(data);
-    let mut stats = resample_statistics(data, resamples, seed, parallelism, &statistic);
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistic produced NaN"));
-    let alpha = (1.0 - level) / 2.0;
-    let lo_idx = ((alpha * resamples as f64).floor() as usize).min(resamples - 1);
-    let hi_idx =
-        (((1.0 - alpha) * resamples as f64).ceil() as usize).saturating_sub(1).min(resamples - 1);
-    Ok(ConfidenceInterval { estimate, lower: stats[lo_idx], upper: stats[hi_idx], level })
+    let stats = resample_statistics(data, resamples, seed, parallelism, &statistic);
+    let result = percentile_interval(estimate, stats, level);
+    if let Ok(ci) = &result {
+        obs.incr("bootstrap.replicates", resamples as u64);
+        obs.incr("bootstrap.non_finite_replicates", ci.non_finite_replicates as u64);
+    }
+    result
 }
 
 /// [`bootstrap_se`] with per-replicate derived seeds, evaluated in
@@ -164,13 +200,55 @@ where
         return Err(StatsError::DegenerateDimension { what: "need at least 2 resamples" });
     }
     let stats = resample_statistics(data, resamples, seed, parallelism, &statistic);
-    let mut w = crate::running::Welford::new();
-    // Welford accumulation stays sequential and in replicate order so
-    // the float arithmetic is identical at every thread count.
-    for s in stats {
-        w.push(s);
+    replicate_stddev(stats)
+}
+
+/// Assembles a percentile interval from the raw replicate statistics,
+/// dropping (and counting) non-finite replicates.
+///
+/// With all replicates finite this reproduces the historical behaviour
+/// exactly: `total_cmp` orders finite floats like `partial_cmp`, and the
+/// percentile indices are taken over the same count.
+fn percentile_interval(estimate: f64, stats: Vec<f64>, level: f64) -> Result<ConfidenceInterval> {
+    if !estimate.is_finite() {
+        return Err(StatsError::NonFiniteStatistic { what: "the original sample" });
     }
-    Ok(w.summary().expect("resamples >= 2").sample_stddev())
+    let total = stats.len();
+    let mut finite: Vec<f64> = stats.into_iter().filter(|s| s.is_finite()).collect();
+    let non_finite_replicates = total - finite.len();
+    if finite.is_empty() {
+        return Err(StatsError::NonFiniteStatistic { what: "every bootstrap replicate" });
+    }
+    finite.sort_by(f64::total_cmp);
+    let m = finite.len();
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((alpha * m as f64).floor() as usize).min(m - 1);
+    let hi_idx = (((1.0 - alpha) * m as f64).ceil() as usize).saturating_sub(1).min(m - 1);
+    Ok(ConfidenceInterval {
+        estimate,
+        lower: finite[lo_idx],
+        upper: finite[hi_idx],
+        level,
+        non_finite_replicates,
+    })
+}
+
+/// Sample standard deviation of the finite replicate statistics.
+///
+/// Welford accumulation stays sequential and in replicate order so the
+/// float arithmetic is identical at every thread count; skipping
+/// non-finite replicates preserves the order of the finite ones.
+fn replicate_stddev(stats: Vec<f64>) -> Result<f64> {
+    let mut w = crate::running::Welford::new();
+    for s in stats {
+        if s.is_finite() {
+            w.push(s);
+        }
+    }
+    if w.count() < 2 {
+        return Err(StatsError::NonFiniteStatistic { what: "all but one bootstrap replicate" });
+    }
+    Ok(w.summary().expect("count >= 2").sample_stddev())
 }
 
 /// One statistic per bootstrap replicate, in replicate order.
@@ -209,14 +287,14 @@ where
     }
     let n = data.len();
     let mut buf = vec![0.0; n];
-    let mut w = crate::running::Welford::new();
+    let mut stats = Vec::with_capacity(resamples);
     for _ in 0..resamples {
         for slot in buf.iter_mut() {
             *slot = data[rng.gen_range(0..n)];
         }
-        w.push(statistic(&buf));
+        stats.push(statistic(&buf));
     }
-    Ok(w.summary().expect("resamples >= 2").sample_stddev())
+    replicate_stddev(stats)
 }
 
 #[cfg(test)]
@@ -290,6 +368,78 @@ mod tests {
         assert!(bootstrap_ci_seeded(&[1.0], 0, 0.95, 0, Parallelism::Sequential, stat).is_err());
         assert!(bootstrap_ci_seeded(&[1.0], 10, 1.5, 0, Parallelism::Sequential, stat).is_err());
         assert!(bootstrap_se_seeded(&[1.0], 1, 0, Parallelism::Sequential, stat).is_err());
+    }
+
+    #[test]
+    fn nan_replicates_are_dropped_and_counted() {
+        // NaN whenever the resample happens to miss the largest value —
+        // the shape of a ratio statistic degenerating on a dirty resample.
+        // Pre-PR this panicked at the partial_cmp sort.
+        let data: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let stat = |s: &[f64]| {
+            if s.contains(&39.0) {
+                s.iter().sum::<f64>() / s.len() as f64
+            } else {
+                f64::NAN
+            }
+        };
+        let ci = bootstrap_ci_seeded(&data, 300, 0.95, 5, Parallelism::Sequential, stat).unwrap();
+        assert!(ci.non_finite_replicates > 0, "{ci:?}");
+        assert!(ci.non_finite_replicates < 300, "{ci:?}");
+        assert!(ci.lower.is_finite() && ci.upper.is_finite());
+        assert!(ci.lower <= ci.upper);
+        // The SE path also survives NaN replicates.
+        let se = bootstrap_se_seeded(&data, 300, 5, Parallelism::Sequential, stat).unwrap();
+        assert!(se.is_finite() && se > 0.0);
+    }
+
+    #[test]
+    fn non_finite_estimate_is_a_typed_error() {
+        let data = vec![1.0, 2.0, 3.0];
+        let err = bootstrap_ci_seeded(&data, 10, 0.95, 0, Parallelism::Sequential, |_| f64::NAN)
+            .unwrap_err();
+        assert_eq!(err, StatsError::NonFiniteStatistic { what: "the original sample" });
+    }
+
+    #[test]
+    fn all_nan_replicates_are_a_typed_error() {
+        // Finite only on a strictly increasing slice: true for the
+        // original sample, (essentially) never for a resample.
+        let data: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let stat = |s: &[f64]| {
+            if s.windows(2).all(|w| w[0] < w[1]) {
+                1.0
+            } else {
+                f64::NAN
+            }
+        };
+        let err =
+            bootstrap_ci_seeded(&data, 50, 0.95, 9, Parallelism::Sequential, stat).unwrap_err();
+        assert_eq!(err, StatsError::NonFiniteStatistic { what: "every bootstrap replicate" });
+    }
+
+    #[test]
+    fn obs_records_bootstrap_replicate_counters() {
+        let data: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let obs = rainshine_obs::Obs::enabled();
+        let ci = bootstrap_ci_seeded_with_obs(
+            &data,
+            200,
+            0.95,
+            11,
+            Parallelism::Sequential,
+            &obs,
+            |s| describe::mean(s).unwrap(),
+        )
+        .unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters["bootstrap.replicates"], 200);
+        assert_eq!(
+            snap.counters["bootstrap.non_finite_replicates"],
+            ci.non_finite_replicates as u64
+        );
+        assert_eq!(snap.stages["stats.bootstrap_ci"].calls, 1);
+        assert_eq!(snap.stages["stats.bootstrap_ci"].items, 200);
     }
 
     #[test]

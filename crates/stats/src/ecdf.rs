@@ -64,15 +64,10 @@ impl Ecdf {
     /// smallest sample value `v` with `F(v) >= q`.
     ///
     /// `q` is clamped to `[0, 1]`; `quantile(0.0)` is the minimum and
-    /// `quantile(1.0)` the maximum.
+    /// `quantile(1.0)` the maximum. Delegates to [`quantile_with_zeros`]
+    /// with no implicit zero mass.
     pub fn quantile(&self, q: f64) -> f64 {
-        let q = q.clamp(0.0, 1.0);
-        if q == 0.0 {
-            return self.sorted[0];
-        }
-        let n = self.sorted.len() as f64;
-        let rank = (q * n).ceil() as usize;
-        self.sorted[rank.saturating_sub(1).min(self.sorted.len() - 1)]
+        quantile_with_zeros(&self.sorted, self.sorted.len() as u64, q)
     }
 
     /// Convenience: the `p`-th percentile, `p` in `[0, 100]`.
@@ -104,6 +99,43 @@ impl Ecdf {
         }
         out
     }
+}
+
+/// Inverse-CDF (type 1) quantile of a sparse distribution: `total`
+/// observations of which only `sorted_nonzero` are explicit; the
+/// remaining `total − sorted_nonzero.len()` are an implicit mass of
+/// zeros sorting below every explicit value.
+///
+/// This is the single rank definition shared by [`Ecdf::quantile`] (no
+/// zero mass), the telemetry `WindowedSeries` λ/μ distributions, and the
+/// Q1 rack-deficit quantiles: with `q` clamped to `[0, 1]`, the 1-based
+/// rank is `ceil(q · total)` floored at 1, the result is the default
+/// value (zero) while the rank falls inside the zero mass, and the
+/// explicit values are indexed by `rank − zeros` beyond it.
+///
+/// `sorted_nonzero` must be sorted ascending (debug-asserted). If it has
+/// more entries than `total` — a malformed sparse series — the zero mass
+/// saturates at zero instead of underflowing, and ranks past the end
+/// clamp to the maximum.
+pub fn quantile_with_zeros<T>(sorted_nonzero: &[T], total: u64, q: f64) -> T
+where
+    T: Copy + Default + PartialOrd,
+{
+    debug_assert!(
+        sorted_nonzero.windows(2).all(|w| w[0] <= w[1]),
+        "quantile_with_zeros requires sorted values"
+    );
+    if total == 0 {
+        return T::default();
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    let zeros = total - (sorted_nonzero.len() as u64).min(total);
+    if rank <= zeros || sorted_nonzero.is_empty() {
+        return T::default();
+    }
+    let idx = (rank - zeros - 1) as usize;
+    sorted_nonzero[idx.min(sorted_nonzero.len() - 1)]
 }
 
 /// Interpolated quantile (R type-7, the R/NumPy default) of a sample.
@@ -192,5 +224,30 @@ mod tests {
         let e = Ecdf::new(vec![1.0, 2.0]).unwrap();
         assert_eq!(e.quantile(-1.0), 1.0);
         assert_eq!(e.quantile(2.0), 2.0);
+    }
+
+    #[test]
+    fn zero_mass_quantile_rank_semantics() {
+        // 7 zeros + [1, 5, 9]: ranks 1..=7 are zero, 8 → 1, 9 → 5, 10 → 9.
+        let nonzero = [1u64, 5, 9];
+        assert_eq!(quantile_with_zeros(&nonzero, 10, 0.0), 0);
+        assert_eq!(quantile_with_zeros(&nonzero, 10, 0.7), 0); // rank 7
+        assert_eq!(quantile_with_zeros(&nonzero, 10, 0.71), 1); // rank 8
+        assert_eq!(quantile_with_zeros(&nonzero, 10, 0.8), 1);
+        assert_eq!(quantile_with_zeros(&nonzero, 10, 0.9), 5);
+        assert_eq!(quantile_with_zeros(&nonzero, 10, 1.0), 9);
+    }
+
+    #[test]
+    fn zero_mass_quantile_degenerate_inputs() {
+        // Empty distribution.
+        assert_eq!(quantile_with_zeros::<u64>(&[], 0, 0.5), 0);
+        // All-zero distribution.
+        assert_eq!(quantile_with_zeros::<u64>(&[], 4, 1.0), 0);
+        // Malformed: more explicit values than total observations must
+        // saturate the zero mass rather than underflow.
+        assert_eq!(quantile_with_zeros(&[2u64, 3], 1, 1.0), 2);
+        // Works for floats with no zero mass (the Ecdf case).
+        assert_eq!(quantile_with_zeros(&[1.5f64, 2.5], 2, 0.5), 1.5);
     }
 }

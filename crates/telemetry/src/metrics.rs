@@ -100,14 +100,39 @@ impl WindowedSeries {
         self.total() as f64 / self.windows as f64
     }
 
-    /// Sample standard deviation per window (zero-inclusive).
+    /// Adds `delta` at window `w`. Out-of-range windows clamp to the last
+    /// window, so a stray ticket can never create more non-zero entries
+    /// than the span has windows (the underflow `quantile`/`stddev` used
+    /// to hit). No-op on a zero-window span.
+    pub fn add(&mut self, w: u64, delta: u64) {
+        if self.windows == 0 || delta == 0 {
+            return;
+        }
+        let w = w.min(self.windows - 1);
+        *self.nonzero.entry(w).or_insert(0) += delta;
+    }
+
+    /// Raises window `w` to at least `value`, clamping like [`Self::add`].
+    pub fn record_max(&mut self, w: u64, value: u64) {
+        if self.windows == 0 || value == 0 {
+            return;
+        }
+        let w = w.min(self.windows - 1);
+        let slot = self.nonzero.entry(w).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// Sample standard deviation per window (zero-inclusive). Zero for
+    /// degenerate spans (`windows < 2`); a malformed series with more
+    /// non-zero entries than windows saturates its zero count at zero
+    /// instead of underflowing.
     pub fn stddev(&self) -> f64 {
         if self.windows < 2 {
             return 0.0;
         }
         let mean = self.mean();
         let nonzero_ss: f64 = self.nonzero.values().map(|&v| (v as f64 - mean).powi(2)).sum();
-        let zero_count = self.windows - self.nonzero.len() as u64;
+        let zero_count = self.windows.saturating_sub(self.nonzero.len() as u64);
         let ss = nonzero_ss + zero_count as f64 * mean * mean;
         (ss / (self.windows - 1) as f64).sqrt()
     }
@@ -121,20 +146,11 @@ impl WindowedSeries {
     ///
     /// `q` is clamped to `[0, 1]`. With `Z` zero windows and sorted non-zero
     /// values, the quantile is 0 while the rank falls inside the zero mass.
+    /// Delegates to the shared zero-mass-aware helper in `rainshine-stats`.
     pub fn quantile(&self, q: f64) -> u64 {
-        if self.windows == 0 {
-            return 0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = (q * self.windows as f64).ceil().max(1.0) as u64;
-        let zeros = self.windows - self.nonzero.len() as u64;
-        if rank <= zeros {
-            return 0;
-        }
         let mut values: Vec<u64> = self.nonzero.values().copied().collect();
         values.sort_unstable();
-        let idx = (rank - zeros - 1) as usize;
-        values[idx.min(values.len() - 1)]
+        rainshine_stats::ecdf::quantile_with_zeros(&values, self.windows, q)
     }
 
     /// All per-window values including zeros, as `f64` — for feeding ECDFs
@@ -173,7 +189,7 @@ pub fn lambda(
         let key = spatial.key(&t.location);
         let w = temporal.window_of(t.opened) - base;
         let series = out.entry(key).or_insert_with(|| WindowedSeries::zeros(windows));
-        *series.nonzero.entry(w).or_insert(0) += 1;
+        series.add(w, 1);
     }
     out
 }
@@ -225,7 +241,7 @@ pub fn mu(
         .map(|(key, by_window)| {
             let mut series = WindowedSeries::zeros(windows);
             for (w, devices) in by_window {
-                series.nonzero.insert(w, devices.len() as u64);
+                series.add(w, devices.len() as u64);
             }
             (key, series)
         })
@@ -286,8 +302,7 @@ pub fn peak_concurrency(
                 .saturating_sub(base)
                 .min(windows.saturating_sub(1));
             for w in w_from..=w_to {
-                let slot = series.nonzero.entry(w).or_insert(0);
-                *slot = (*slot).max(concurrency as u64);
+                series.record_max(w, concurrency as u64);
             }
         }
         out.insert(key, series);
@@ -474,6 +489,50 @@ mod tests {
         assert_eq!(s.quantile(0.9), 1);
         assert_eq!(s.quantile(1.0), 5);
         assert_eq!(s.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn overfull_series_does_not_underflow() {
+        // Hand-built series with more non-zero entries than windows — the
+        // shape `to_dense` already guards against. Pre-PR, `quantile` and
+        // `stddev` computed `windows - nonzero.len()` and underflowed
+        // (debug panic, release garbage); now the zero mass saturates.
+        let mut s = WindowedSeries::zeros(3);
+        s.nonzero.insert(0, 1);
+        s.nonzero.insert(1, 2);
+        s.nonzero.insert(5, 4);
+        s.nonzero.insert(6, 8);
+        assert_eq!(s.quantile(0.0), 1);
+        // Ranks cap at `windows`, so the top quantile is the 3rd sorted
+        // value, not the spurious 4th.
+        assert_eq!(s.quantile(1.0), 4);
+        assert!(s.stddev().is_finite());
+        assert!(s.stddev() >= 0.0);
+    }
+
+    #[test]
+    fn degenerate_span_stddev_is_zero_not_nan() {
+        let mut s = WindowedSeries::zeros(1);
+        s.add(0, 7);
+        assert_eq!(s.stddev(), 0.0);
+        let empty = WindowedSeries::zeros(0);
+        assert_eq!(empty.stddev(), 0.0);
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn add_clamps_out_of_range_windows() {
+        let mut s = WindowedSeries::zeros(4);
+        s.add(99, 2);
+        s.record_max(1_000_000, 5);
+        assert_eq!(s.nonzero.len(), 1);
+        assert_eq!(s.nonzero[&3], 5);
+        assert_eq!(s.max(), 5);
+        // Zero-window spans swallow writes instead of panicking.
+        let mut empty = WindowedSeries::zeros(0);
+        empty.add(0, 1);
+        empty.record_max(0, 1);
+        assert!(empty.nonzero.is_empty());
     }
 
     #[test]

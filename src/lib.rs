@@ -8,6 +8,7 @@
 //! This meta-crate re-exports the workspace crates under stable module names:
 //!
 //! * [`parallel`] — deterministic parallel-execution layer ([`parallel::Parallelism`])
+//! * [`obs`] — offline structured observability: spans, counters, run reports ([`obs::Obs`])
 //! * [`stats`] — statistics substrate (ECDF, distributions, tests, …)
 //! * [`telemetry`] — data model: columnar tables, calendar, RMA tickets, λ/μ metrics
 //! * [`dcsim`] — generative fleet simulator (topology, climate, hazards, tickets)
@@ -28,6 +29,7 @@
 pub use rainshine_cart as cart;
 pub use rainshine_core as analysis;
 pub use rainshine_dcsim as dcsim;
+pub use rainshine_obs as obs;
 pub use rainshine_parallel as parallel;
 pub use rainshine_stats as stats;
 pub use rainshine_telemetry as telemetry;

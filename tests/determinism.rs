@@ -105,6 +105,45 @@ mod erased {
     }
 }
 
+/// The `--report` contract: the deterministic section of the run report —
+/// counters, histograms, stage call/item counts, quality payload — must be
+/// byte-identical for a fixed (scale, seed, corruption) at every thread
+/// count. Only wall times (excluded from the serialized section) may vary.
+#[test]
+fn run_report_bytes_do_not_depend_on_thread_count() {
+    use rainshine::dcsim::CorruptionConfig;
+    use rainshine::obs::Obs;
+    use rainshine_bench::{run_experiment, run_report, ExperimentContext, Scale};
+
+    let report_for = |parallelism: Parallelism| {
+        let obs = Obs::enabled();
+        let mut ctx = ExperimentContext::new_with_obs(
+            Scale::Small,
+            7,
+            parallelism,
+            CorruptionConfig::dirty_default(),
+            obs.clone(),
+        );
+        let dir = std::env::temp_dir().join("rainshine-report-det");
+        for id in ["t1", "f2", "f15"] {
+            run_experiment(id, &mut ctx, &dir).expect("experiment runs");
+        }
+        run_report(&obs, &ctx.output, Scale::Small, 7).deterministic_json()
+    };
+
+    let baseline = report_for(Parallelism::Sequential);
+    assert!(baseline.contains("dcsim.run"), "simulation stages recorded");
+    assert!(baseline.contains("experiment.f15"), "experiment stages recorded");
+    assert!(baseline.contains("quality"), "quality payload attached");
+    for parallelism in [Parallelism::Threads(2), Parallelism::Threads(8)] {
+        assert_eq!(
+            baseline,
+            report_for(parallelism),
+            "deterministic report diverged between Sequential and {parallelism:?}"
+        );
+    }
+}
+
 #[test]
 fn pipeline_results_do_not_depend_on_thread_count() {
     let baseline = pipeline(Parallelism::Sequential);

@@ -158,6 +158,24 @@ fn sanitized_stream_is_fully_valid() {
 }
 
 #[test]
+fn full_experiment_suite_never_panics_on_dirty_data() {
+    use rainshine_bench::{run_experiment, ExperimentContext, Scale, ALL_EXPERIMENTS};
+    let dir = std::env::temp_dir().join("rainshine-dirty-suite");
+    let mut ctx = ExperimentContext::new_with_corruption(
+        Scale::Small,
+        SEED,
+        Parallelism::Auto,
+        CorruptionConfig::dirty_default(),
+    );
+    assert!(ctx.output.quality.tickets_seen > ctx.output.quality.tickets_kept, "defects injected");
+    for id in ALL_EXPERIMENTS {
+        let preview = run_experiment(id, &mut ctx, &dir)
+            .unwrap_or_else(|e| panic!("experiment {id} failed on dirty data: {e}"));
+        assert!(!preview.is_empty(), "{id} produced empty preview");
+    }
+}
+
+#[test]
 fn dirty_pipeline_is_bit_identical_across_parallelism_and_repeats() {
     let run = |p: Parallelism| {
         let mut config = FleetConfig::small();
