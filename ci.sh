@@ -12,5 +12,7 @@ cargo test --workspace -q
 cargo test -q --test dirty_data
 cargo test -q --test determinism run_report_bytes_do_not_depend_on_thread_count
 cargo clippy --workspace --all-targets -- -D warnings
+# Rustdoc must build warning-free (broken intra-doc links fail the gate).
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "ci: all green"

@@ -142,10 +142,10 @@ impl CvResult {
 }
 
 /// Held-out prediction error of `tree` on `rows`: sum of squared errors for
-/// regression, misclassification count for classification.
+/// regression, misclassification count for classification. Predicts the
+/// held-out rows directly (no subset materialization).
 fn holdout_error(tree: &Tree, dataset: &CartDataset<'_>, rows: &[usize]) -> Result<f64> {
-    let sub = dataset.table().subset(rows);
-    let preds = tree.predict(&sub)?;
+    let preds = tree.predict_rows(dataset.table(), rows)?;
     match dataset.target() {
         crate::dataset::Target::Regression(y) => {
             Ok(rows.iter().zip(&preds).map(|(&r, p)| (y[r] - p).powi(2)).sum())

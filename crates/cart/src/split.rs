@@ -249,7 +249,30 @@ pub(crate) struct BestSplit {
     pub improvement: f64,
 }
 
-/// Searches all features for the best split of `rows`.
+/// The NaN-free, stably sorted row order of one ordered feature.
+///
+/// This is the *presort* half of the presort-once / partition-many
+/// fitter: [`crate::tree::Tree`] computes it once per (tree, feature)
+/// over the root rows and then stably partitions the index array down
+/// the tree, so no node ever re-sorts. The stable sort (ties keep the
+/// input row order) is what makes a partitioned segment bit-identical
+/// to re-sorting the child's rows from scratch.
+///
+/// `f64::total_cmp` (not `partial_cmp().expect(..)`) keeps a NaN that
+/// slips past the pre-filter from panicking a fit: total order sorts
+/// NaN to the ends instead of aborting.
+pub(crate) fn sorted_order<V: Fn(usize) -> f64>(rows: &[usize], value_of: V) -> Vec<usize> {
+    let mut order: Vec<usize> = rows.iter().copied().filter(|&r| !value_of(r).is_nan()).collect();
+    order.sort_by(|&a, &b| value_of(a).total_cmp(&value_of(b)));
+    order
+}
+
+/// Searches all features for the best split of `rows`, sorting each
+/// ordered feature on the fly.
+///
+/// This is the per-node-sort reference path, kept for unit tests and
+/// the presort-equivalence regression; tree growth uses
+/// [`best_split_presorted`] with cached index permutations instead.
 ///
 /// Returns `None` if no admissible split exists (all features constant on
 /// the node, or min_leaf cannot be satisfied).
@@ -260,12 +283,40 @@ pub(crate) fn best_split(
     parent_risk: f64,
     params: &CartParams,
 ) -> Option<BestSplit> {
+    let orders: Vec<Option<Vec<usize>>> = features
+        .iter()
+        .map(|(_, column)| match column {
+            FeatureColumn::Continuous(values) => Some(sorted_order(rows, |r| values[r])),
+            FeatureColumn::Ordinal(values) => Some(sorted_order(rows, |r| values[r] as f64)),
+            FeatureColumn::Nominal { .. } => None,
+        })
+        .collect();
+    let orders: Vec<Option<&[usize]>> = orders.iter().map(Option::as_deref).collect();
+    best_split_presorted(target, features, rows, &orders, parent_risk, params)
+}
+
+/// Searches all features for the best split of `rows`, using a cached
+/// sorted index segment per ordered feature (`orders` is aligned with
+/// `features`; nominal entries are `None`).
+///
+/// Each `Some` segment must hold exactly the node's rows with a finite
+/// value for that feature, stably sorted ascending — the invariant the
+/// presort-partition fitter maintains down the tree.
+pub(crate) fn best_split_presorted(
+    target: &Target<'_>,
+    features: &[(String, FeatureColumn<'_>)],
+    rows: &[usize],
+    orders: &[Option<&[usize]>],
+    parent_risk: f64,
+    params: &CartParams,
+) -> Option<BestSplit> {
     let mut best: Option<BestSplit> = None;
-    for (name, column) in features {
+    for ((name, column), order) in features.iter().zip(orders) {
         let candidate = match column {
             FeatureColumn::Continuous(values) => scan_ordered(
                 target,
                 rows,
+                order.expect("continuous feature has a presorted segment"),
                 parent_risk,
                 params,
                 |row| values[row],
@@ -278,6 +329,7 @@ pub(crate) fn best_split(
             FeatureColumn::Ordinal(values) => scan_ordered(
                 target,
                 rows,
+                order.expect("ordinal feature has a presorted segment"),
                 parent_risk,
                 params,
                 |row| values[row] as f64,
@@ -303,17 +355,19 @@ pub(crate) fn best_split(
     best
 }
 
-/// Scans an ordered feature: sorts rows by value, sweeps prefix boundaries
-/// between distinct values.
+/// Scans an ordered feature over its presorted row segment, sweeping
+/// prefix boundaries between distinct values.
 ///
-/// Rows whose value is NaN (missing telemetry) are excluded from the
-/// scan; the candidate split's risk is then measured against the finite
-/// subpopulation only, and the rule records which side held the majority
-/// so missing rows route there at partition/prediction time. With no NaN
-/// present the arithmetic is identical to a scan over `rows` as given.
+/// Rows whose value is NaN (missing telemetry) are excluded from `order`
+/// (at presort time); the candidate split's risk is then measured against
+/// the finite subpopulation only, and the rule records which side held
+/// the majority so missing rows route there at partition/prediction
+/// time. With no NaN present the arithmetic is identical to a scan over
+/// `rows` as given.
 fn scan_ordered<V, M>(
     target: &Target<'_>,
     rows: &[usize],
+    order: &[usize],
     parent_risk: f64,
     params: &CartParams,
     value_of: V,
@@ -323,11 +377,9 @@ where
     V: Fn(usize) -> f64,
     M: Fn(f64, f64, bool) -> SplitRule,
 {
-    let mut order: Vec<usize> = rows.iter().copied().filter(|&r| !value_of(r).is_nan()).collect();
     if order.len() < 2 {
         return None;
     }
-    order.sort_by(|&a, &b| value_of(a).partial_cmp(&value_of(b)).expect("non-NaN feature"));
     let all_finite = order.len() == rows.len();
     let mut total = RiskAcc::empty_like(target);
     if all_finite {
@@ -337,7 +389,7 @@ where
             total.add_row(target, r);
         }
     } else {
-        for &r in &order {
+        for &r in order {
             total.add_row(target, r);
         }
     }
@@ -423,12 +475,9 @@ fn scan_nominal_ordered(
     per_cat: &[(u32, RiskAcc)],
 ) -> Option<BestSplit> {
     let mut ordered: Vec<&(u32, RiskAcc)> = per_cat.iter().collect();
-    ordered.sort_by(|a, b| {
-        a.1.ordering_key()
-            .partial_cmp(&b.1.ordering_key())
-            .expect("finite ordering key")
-            .then(a.0.cmp(&b.0))
-    });
+    // total_cmp so a non-finite ordering key (possible only with a dirty
+    // target) degrades the category order instead of panicking the fit.
+    ordered.sort_by(|a, b| a.1.ordering_key().total_cmp(&b.1.ordering_key()).then(a.0.cmp(&b.0)));
     let mut total = RiskAcc::empty_like(target);
     for &r in rows {
         total.add_row(target, r);

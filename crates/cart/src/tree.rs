@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::dataset::{feature_column, CartDataset, FeatureColumn, Target};
 use crate::params::CartParams;
-use crate::split::{best_split, RiskAcc, SplitRule};
+use crate::split::{best_split, best_split_presorted, sorted_order, RiskAcc, SplitRule};
 use crate::{CartError, Result};
 
 /// Whether a tree predicts a continuous mean or a class.
@@ -75,7 +75,16 @@ impl Tree {
     }
 
     /// Fits a tree using only the given training rows (cross-validation
-    /// folds use this).
+    /// folds and bootstrap resamples use this; `rows` may repeat).
+    ///
+    /// Growth uses the presort-once / partition-many scheme: each
+    /// ordered feature is stably sorted **once** over `rows` into an
+    /// index permutation, and splitting a node stably partitions the
+    /// per-feature segments in place (one shared scratch buffer, no
+    /// per-node allocation or re-sort). Because the sort is stable and
+    /// a stable partition of a sorted sequence equals a stable sort of
+    /// the partitioned rows, the fitted tree is bit-identical to the
+    /// per-node-sort reference ([`Tree::fit_on_rows_per_node_sort`]).
     ///
     /// # Errors
     ///
@@ -95,25 +104,127 @@ impl Tree {
             .iter()
             .map(|name| Ok((name.clone(), dataset.feature(name)?)))
             .collect::<Result<_>>()?;
+        let mut tree = Tree::skeleton(dataset, &target);
 
-        let classes = match &target {
-            Target::Regression(_) => Vec::new(),
-            Target::Classification { classes, .. } => classes.to_vec(),
-        };
-        let kind =
-            if dataset.is_regression() { TreeKind::Regression } else { TreeKind::Classification };
+        // Presort: one NaN-filtered, stably sorted index array per
+        // ordered feature, partitioned (never re-sorted) down the tree.
+        let mut rows_arr: Vec<usize> = rows.to_vec();
+        let mut feat_orders: Vec<Option<Vec<usize>>> = features
+            .iter()
+            .map(|(_, column)| match column {
+                FeatureColumn::Continuous(values) => Some(sorted_order(rows, |r| values[r])),
+                FeatureColumn::Ordinal(values) => Some(sorted_order(rows, |r| values[r] as f64)),
+                FeatureColumn::Nominal { .. } => None,
+            })
+            .collect();
+        let root_segs: Vec<(usize, usize)> =
+            feat_orders.iter().map(|o| (0, o.as_ref().map_or(0, Vec::len))).collect();
 
-        let mut tree = Tree {
-            kind,
-            nodes: Vec::new(),
-            feature_names: dataset.feature_names().to_vec(),
-            target_name: dataset.target_name().to_owned(),
-            root_risk: 0.0,
-            classes,
-        };
+        // Workspace buffers shared by every split of this fit.
+        let mut goes_left = vec![false; dataset.len()];
+        let mut scratch: Vec<usize> = Vec::with_capacity(rows_arr.len());
+
+        // Depth-first growth with an explicit stack of
+        // (node id, rows segment, per-feature order segments).
+        let root_id = tree.push_node(&target, &rows_arr, 0);
+        tree.root_risk = tree.nodes[root_id].risk;
+        let mut stack: Vec<GrowFrame> = vec![(root_id, (0, rows_arr.len()), root_segs)];
+        while let Some((node_id, (lo, hi), feat_segs)) = stack.pop() {
+            let depth = tree.nodes[node_id].depth;
+            let risk = tree.nodes[node_id].risk;
+            if depth >= params.max_depth || hi - lo < params.min_split || risk <= 1e-12 {
+                continue;
+            }
+            let split = {
+                let orders: Vec<Option<&[usize]>> = feat_orders
+                    .iter()
+                    .zip(&feat_segs)
+                    .map(|(order, &(a, b))| order.as_ref().map(|v| &v[a..b]))
+                    .collect();
+                best_split_presorted(&target, &features, &rows_arr[lo..hi], &orders, risk, params)
+            };
+            let Some(split) = split else {
+                continue;
+            };
+            // rpart semantics: the split must improve fit by cp · root risk.
+            if tree.root_risk > 0.0 && split.improvement < params.cp * tree.root_risk {
+                continue;
+            }
+            let column = features
+                .iter()
+                .find(|(n, _)| n == split.rule.feature())
+                .map(|(_, c)| c)
+                .expect("split rule references a known feature");
+            // The rule is a pure function of a row's value, so one flag
+            // per row id routes every occurrence (bootstrap duplicates
+            // included) consistently.
+            for &r in &rows_arr[lo..hi] {
+                goes_left[r] = split.rule.goes_left(column, r);
+            }
+            let left_n = rows_arr[lo..hi].iter().filter(|&&r| goes_left[r]).count();
+            if left_n == 0 || left_n == hi - lo {
+                continue;
+            }
+            stable_partition(&mut rows_arr[lo..hi], &goes_left, &mut scratch);
+            let mid = lo + left_n;
+            let mut left_segs = Vec::with_capacity(feat_segs.len());
+            let mut right_segs = Vec::with_capacity(feat_segs.len());
+            for (order, &(a, b)) in feat_orders.iter_mut().zip(&feat_segs) {
+                match order {
+                    Some(v) => {
+                        let ln = stable_partition(&mut v[a..b], &goes_left, &mut scratch);
+                        left_segs.push((a, a + ln));
+                        right_segs.push((a + ln, b));
+                    }
+                    None => {
+                        left_segs.push((0, 0));
+                        right_segs.push((0, 0));
+                    }
+                }
+            }
+            let left_id = tree.push_node(&target, &rows_arr[lo..mid], depth + 1);
+            let right_id = tree.push_node(&target, &rows_arr[mid..hi], depth + 1);
+            {
+                let node = &mut tree.nodes[node_id];
+                node.rule = Some(split.rule);
+                node.improvement = split.improvement;
+                node.left = Some(left_id);
+                node.right = Some(right_id);
+            }
+            stack.push((left_id, (lo, mid), left_segs));
+            stack.push((right_id, (mid, hi), right_segs));
+        }
+        Ok(tree)
+    }
+
+    /// The pre-refactor fitter, which re-sorts every ordered feature at
+    /// every node. Kept as the reference implementation for the
+    /// presort-equivalence regression test and the `split_scan`
+    /// microbench; analysis code should use [`Tree::fit_on_rows`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid parameters or an empty row set.
+    #[doc(hidden)]
+    pub fn fit_on_rows_per_node_sort(
+        dataset: &CartDataset<'_>,
+        params: &CartParams,
+        rows: &[usize],
+    ) -> Result<Self> {
+        params.validate()?;
+        if rows.is_empty() {
+            return Err(CartError::EmptyDataset);
+        }
+        let target = dataset.target();
+        let features: Vec<(String, FeatureColumn<'_>)> = dataset
+            .feature_names()
+            .iter()
+            .map(|name| Ok((name.clone(), dataset.feature(name)?)))
+            .collect::<Result<_>>()?;
+        let mut tree = Tree::skeleton(dataset, &target);
 
         // Depth-first growth with an explicit stack of (node id, rows).
-        let root_id = tree.push_node(&target, rows.to_vec(), 0);
+        let root_id = tree.push_node(&target, rows, 0);
         tree.root_risk = tree.nodes[root_id].risk;
         let mut stack: Vec<(usize, Vec<usize>)> = vec![(root_id, rows.to_vec())];
         while let Some((node_id, node_rows)) = stack.pop() {
@@ -139,8 +250,8 @@ impl Tree {
             if left_rows.is_empty() || right_rows.is_empty() {
                 continue;
             }
-            let left_id = tree.push_node(&target, left_rows.clone(), depth + 1);
-            let right_id = tree.push_node(&target, right_rows.clone(), depth + 1);
+            let left_id = tree.push_node(&target, &left_rows, depth + 1);
+            let right_id = tree.push_node(&target, &right_rows, depth + 1);
             {
                 let node = &mut tree.nodes[node_id];
                 node.rule = Some(split.rule);
@@ -154,9 +265,27 @@ impl Tree {
         Ok(tree)
     }
 
-    fn push_node(&mut self, target: &Target<'_>, rows: Vec<usize>, depth: usize) -> usize {
+    /// An empty tree carrying the dataset's metadata, ready for growth.
+    fn skeleton(dataset: &CartDataset<'_>, target: &Target<'_>) -> Tree {
+        let classes = match target {
+            Target::Regression(_) => Vec::new(),
+            Target::Classification { classes, .. } => classes.to_vec(),
+        };
+        let kind =
+            if dataset.is_regression() { TreeKind::Regression } else { TreeKind::Classification };
+        Tree {
+            kind,
+            nodes: Vec::new(),
+            feature_names: dataset.feature_names().to_vec(),
+            target_name: dataset.target_name().to_owned(),
+            root_risk: 0.0,
+            classes,
+        }
+    }
+
+    fn push_node(&mut self, target: &Target<'_>, rows: &[usize], depth: usize) -> usize {
         let mut acc = RiskAcc::empty_like(target);
-        for &r in &rows {
+        for &r in rows {
             acc.add_row(target, r);
         }
         let (prediction, class_counts) = match (target, &acc) {
@@ -295,6 +424,23 @@ impl Tree {
             .collect())
     }
 
+    /// Predicted values for the given rows of `table`, in order — like
+    /// `predict(&table.subset(rows))` without materializing the subset.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tree::leaf_assignments`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row index is out of bounds.
+    pub fn predict_rows(&self, table: &Table, rows: &[usize]) -> Result<Vec<f64>> {
+        let columns = self.resolve_columns(table)?;
+        rows.iter()
+            .map(|&row| self.walk(&columns, row).map(|leaf| self.nodes[leaf].prediction))
+            .collect()
+    }
+
     /// Variable importance: total risk decrease attributed to each feature
     /// across all splits, normalized to sum to 100. Features never used
     /// score 0. Sorted descending.
@@ -421,6 +567,35 @@ impl Tree {
         new_nodes.sort_by_key(|n| n.id);
         self.nodes = new_nodes;
     }
+}
+
+/// One pending node on the presort fitter's growth stack: node id, its
+/// `(lo, hi)` range of the shared rows array, and the `(lo, hi)` segment
+/// of every per-feature order array.
+type GrowFrame = (usize, (usize, usize), Vec<(usize, usize)>);
+
+/// Stably partitions `seg` in place by the per-row-id `goes_left` flags
+/// (left rows first, both sides keeping their relative order) and
+/// returns the left count. `scratch` is a reusable buffer so splitting a
+/// node allocates nothing once it has grown to the root segment size.
+fn stable_partition(seg: &mut [usize], goes_left: &[bool], scratch: &mut Vec<usize>) -> usize {
+    scratch.clear();
+    scratch.extend_from_slice(seg);
+    let mut write = 0;
+    for &r in scratch.iter() {
+        if goes_left[r] {
+            seg[write] = r;
+            write += 1;
+        }
+    }
+    let left_n = write;
+    for &r in scratch.iter() {
+        if !goes_left[r] {
+            seg[write] = r;
+            write += 1;
+        }
+    }
+    left_n
 }
 
 #[cfg(test)]
@@ -560,6 +735,34 @@ mod tests {
         let path = tree.path_to(leaf);
         assert!(!path.is_empty());
         assert!(tree.path_to(0).is_empty());
+    }
+
+    #[test]
+    fn presort_fitter_matches_per_node_sort_reference() {
+        let t = step_table(400);
+        let ds = CartDataset::regression(&t, "y", &["x", "k"]).unwrap();
+        let params = CartParams::default().with_cp(0.0005).with_min_sizes(4, 2);
+        // Full table, a subset, and a bootstrap-style multiset with
+        // duplicates must all produce bit-identical trees.
+        let all: Vec<usize> = (0..t.rows()).collect();
+        let subset: Vec<usize> = (0..t.rows()).step_by(3).collect();
+        let multiset: Vec<usize> = (0..t.rows()).map(|i| (i * 7 + 13) % t.rows()).collect();
+        for rows in [&all, &subset, &multiset] {
+            let presort = Tree::fit_on_rows(&ds, &params, rows).unwrap();
+            let reference = Tree::fit_on_rows_per_node_sort(&ds, &params, rows).unwrap();
+            assert_eq!(presort, reference);
+        }
+    }
+
+    #[test]
+    fn predict_rows_matches_subset_predict() {
+        let t = step_table(200);
+        let ds = CartDataset::regression(&t, "y", &["x", "k"]).unwrap();
+        let tree = Tree::fit(&ds, &CartParams::default()).unwrap();
+        let rows: Vec<usize> = (0..t.rows()).step_by(7).collect();
+        let direct = tree.predict_rows(&t, &rows).unwrap();
+        let via_subset = tree.predict(&t.subset(&rows)).unwrap();
+        assert_eq!(direct, via_subset);
     }
 
     #[test]

@@ -10,13 +10,15 @@
 //!   environment, and a caller-supplied response (used by Q1 to cluster
 //!   racks by provisioning need).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
+use rainshine_dcsim::topology::RackInfo;
 use rainshine_dcsim::SimulationOutput;
+use rainshine_telemetry::frame::{ColumnBuilder, FrameBuilder};
 use rainshine_telemetry::ids::RackId;
 use rainshine_telemetry::rma::{FaultKind, HardwareFault, RmaTicket};
 use rainshine_telemetry::schema::analysis_schema;
-use rainshine_telemetry::table::{Table, TableBuilder, Value};
+use rainshine_telemetry::table::Table;
 use rainshine_telemetry::time::SimTime;
 
 use crate::{AnalysisError, Result};
@@ -53,11 +55,14 @@ impl FaultFilter {
 }
 
 /// Counts matching true-positive tickets per (rack, day).
+///
+/// Returned as a [`BTreeMap`] so that callers iterating the counts (rather
+/// than just probing them) see a deterministic key order.
 pub fn ticket_counts_by_rack_day(
     tickets: &[&RmaTicket],
     filter: FaultFilter,
-) -> HashMap<(RackId, u64), u64> {
-    let mut counts = HashMap::new();
+) -> BTreeMap<(RackId, u64), u64> {
+    let mut counts = BTreeMap::new();
     for t in tickets {
         if filter.matches(t.fault) {
             *counts.entry((t.location.rack, t.opened.days())).or_insert(0) += 1;
@@ -86,55 +91,130 @@ pub fn rack_day_table(
     }
     let tickets = output.true_positives();
     let counts = ticket_counts_by_rack_day(&tickets, filter);
-    let mut builder = TableBuilder::new(analysis_schema());
-    let start_day = output.config.start.days();
-    let end_day = output.config.end.days();
-    let mut rows = 0usize;
-    for rack in &output.fleet.racks {
-        for day in (start_day..end_day).step_by(day_stride) {
-            let t = SimTime::from_days(day);
-            if !rack.is_active(t) {
-                continue;
-            }
+    let mut builder = FrameBuilder::new(analysis_schema());
+    let rows = {
+        let mut cols = AnalysisCols::split(&mut builder);
+        // Per-rack nominal codes, interned on the rack's first active day so
+        // code assignment matches first-seen row order.
+        let mut cached: Option<(RackId, RackCodes)> = None;
+        output.for_each_active_rack_day(day_stride, |rack, t, env| {
+            let codes = match cached {
+                Some((id, codes)) if id == rack.id => codes,
+                _ => {
+                    let codes = cols.intern_rack(rack);
+                    cached = Some((rack.id, codes));
+                    codes
+                }
+            };
             // Ingested (sanitized) environment: spikes winsorized, blackout
             // cells NaN — the NaN-tolerant CART and the evidence series
             // handle missing readings downstream.
-            let env = output.ingested_daily_env(rack.dc, rack.region, day);
-            let count = counts.get(&(rack.id, day)).copied().unwrap_or(0) as f64;
-            builder.push_row(row_values(rack, t, env.temp_f, env.rh, count))?;
-            rows += 1;
-        }
-    }
+            let count = counts.get(&(rack.id, t.days())).copied().unwrap_or(0) as f64;
+            cols.push(codes, rack, t, env.temp_f, env.rh, count);
+        })
+    };
     if rows == 0 {
         return Err(AnalysisError::NoData { what: "no active rack-days in span".into() });
     }
-    Ok(builder.build())
+    Ok(Table::from_frame(builder.build()?))
 }
 
-fn row_values(
-    rack: &rainshine_dcsim::topology::RackInfo,
-    t: SimTime,
-    temp_f: f64,
-    rh: f64,
-    response: f64,
-) -> Vec<Value> {
-    vec![
-        Value::Nominal(rack.sku.to_string()),
-        Value::Continuous(rack.age_months(t)),
-        Value::Continuous(rack.power_kw),
-        Value::Nominal(rack.workload.to_string()),
-        Value::Continuous(temp_f),
-        Value::Continuous(rh),
-        Value::Nominal(rack.dc.to_string()),
-        Value::Nominal(format!("{}-{}", rack.dc, rack.region.0)),
-        Value::Nominal(format!("{}-row{}", rack.dc, rack.row.0)),
-        Value::Nominal(rack.id.to_string()),
-        Value::Ordinal(t.day_of_week().index() as i64),
-        Value::Ordinal(t.week_of_year() as i64),
-        Value::Ordinal(t.month() as i64),
-        Value::Ordinal(t.year_offset() as i64),
-        Value::Continuous(response),
-    ]
+/// Nominal codes for one rack's static features, interned once and reused
+/// for every day the rack contributes.
+#[derive(Clone, Copy)]
+struct RackCodes {
+    sku: u32,
+    workload: u32,
+    dc: u32,
+    region: u32,
+    row: u32,
+    rack: u32,
+}
+
+/// The 15 analysis-schema column builders, split-borrowed so the emission
+/// loop can append to all of them without per-row [`Value`] vectors.
+///
+/// [`Value`]: rainshine_telemetry::table::Value
+struct AnalysisCols<'a> {
+    sku: &'a mut ColumnBuilder,
+    age: &'a mut ColumnBuilder,
+    power: &'a mut ColumnBuilder,
+    workload: &'a mut ColumnBuilder,
+    temp: &'a mut ColumnBuilder,
+    rh: &'a mut ColumnBuilder,
+    dc: &'a mut ColumnBuilder,
+    region: &'a mut ColumnBuilder,
+    row: &'a mut ColumnBuilder,
+    rack: &'a mut ColumnBuilder,
+    dow: &'a mut ColumnBuilder,
+    week: &'a mut ColumnBuilder,
+    month: &'a mut ColumnBuilder,
+    year: &'a mut ColumnBuilder,
+    response: &'a mut ColumnBuilder,
+}
+
+impl<'a> AnalysisCols<'a> {
+    fn split(builder: &'a mut FrameBuilder) -> Self {
+        let [sku, age, power, workload, temp, rh, dc, region, row, rack, dow, week, month, year, response] =
+            builder.columns_mut()
+        else {
+            unreachable!("analysis schema has 15 columns")
+        };
+        AnalysisCols {
+            sku,
+            age,
+            power,
+            workload,
+            temp,
+            rh,
+            dc,
+            region,
+            row,
+            rack,
+            dow,
+            week,
+            month,
+            year,
+            response,
+        }
+    }
+
+    fn intern_rack(&mut self, rack: &RackInfo) -> RackCodes {
+        RackCodes {
+            sku: self.sku.intern(&rack.sku.to_string()),
+            workload: self.workload.intern(&rack.workload.to_string()),
+            dc: self.dc.intern(&rack.dc.to_string()),
+            region: self.region.intern(&format!("{}-{}", rack.dc, rack.region.0)),
+            row: self.row.intern(&format!("{}-row{}", rack.dc, rack.row.0)),
+            rack: self.rack.intern(&rack.id.to_string()),
+        }
+    }
+
+    fn push(
+        &mut self,
+        codes: RackCodes,
+        rack: &RackInfo,
+        t: SimTime,
+        temp_f: f64,
+        rh: f64,
+        response: f64,
+    ) {
+        self.sku.push_code(codes.sku);
+        self.age.push_f64(rack.age_months(t));
+        self.power.push_f64(rack.power_kw);
+        self.workload.push_code(codes.workload);
+        self.temp.push_f64(temp_f);
+        self.rh.push_f64(rh);
+        self.dc.push_code(codes.dc);
+        self.region.push_code(codes.region);
+        self.row.push_code(codes.row);
+        self.rack.push_code(codes.rack);
+        self.dow.push_i64(t.day_of_week().index() as i64);
+        self.week.push_i64(t.week_of_year() as i64);
+        self.month.push_i64(t.month() as i64);
+        self.year.push_i64(t.year_offset() as i64);
+        self.response.push_f64(response);
+    }
 }
 
 /// Builds a rack-level table: one row per rack carrying its static features,
@@ -148,44 +228,48 @@ fn row_values(
 ///
 /// Returns [`AnalysisError::NoData`] if no rack has a response.
 pub fn rack_table(output: &SimulationOutput, response: &HashMap<RackId, f64>) -> Result<Table> {
-    let mut builder = TableBuilder::new(analysis_schema());
+    let mut builder = FrameBuilder::new(analysis_schema());
     let start_day = output.config.start.days() as i64;
     let end_day = output.config.end.days() as i64;
     let mut rows = 0usize;
-    for rack in &output.fleet.racks {
-        let Some(&resp) = response.get(&rack.id) else {
-            continue;
-        };
-        let active_start = rack.commissioned_day.max(start_day);
-        if active_start >= end_day {
-            continue;
-        }
-        let mid_day = ((active_start + end_day) / 2) as u64;
-        let t = SimTime::from_days(mid_day);
-        // Mean environment over a monthly sample of the active span.
-        let mut temp = 0.0;
-        let mut rh = 0.0;
-        let mut n = 0.0;
-        let mut day = active_start as u64;
-        while (day as i64) < end_day {
-            let env = output.ingested_daily_env(rack.dc, rack.region, day);
-            // Skip blacked-out samples; the mean comes from the days the
-            // sensors actually reported.
-            if env.temp_f.is_finite() && env.rh.is_finite() {
-                temp += env.temp_f;
-                rh += env.rh;
-                n += 1.0;
+    {
+        let mut cols = AnalysisCols::split(&mut builder);
+        for rack in &output.fleet.racks {
+            let Some(&resp) = response.get(&rack.id) else {
+                continue;
+            };
+            let active_start = rack.commissioned_day.max(start_day);
+            if active_start >= end_day {
+                continue;
             }
-            day += 30;
+            let mid_day = ((active_start + end_day) / 2) as u64;
+            let t = SimTime::from_days(mid_day);
+            // Mean environment over a monthly sample of the active span.
+            let mut temp = 0.0;
+            let mut rh = 0.0;
+            let mut n = 0.0;
+            let mut day = active_start as u64;
+            while (day as i64) < end_day {
+                let env = output.ingested_daily_env(rack.dc, rack.region, day);
+                // Skip blacked-out samples; the mean comes from the days the
+                // sensors actually reported.
+                if env.temp_f.is_finite() && env.rh.is_finite() {
+                    temp += env.temp_f;
+                    rh += env.rh;
+                    n += 1.0;
+                }
+                day += 30;
+            }
+            let (temp, rh) = if n > 0.0 { (temp / n, rh / n) } else { (65.0, 45.0) };
+            let codes = cols.intern_rack(rack);
+            cols.push(codes, rack, t, temp, rh, resp);
+            rows += 1;
         }
-        let (temp, rh) = if n > 0.0 { (temp / n, rh / n) } else { (65.0, 45.0) };
-        builder.push_row(row_values(rack, t, temp, rh, resp))?;
-        rows += 1;
     }
     if rows == 0 {
         return Err(AnalysisError::NoData { what: "no racks with responses".into() });
     }
-    Ok(builder.build())
+    Ok(Table::from_frame(builder.build()?))
 }
 
 #[cfg(test)]

@@ -18,8 +18,9 @@ use rainshine_cart::dataset::CartDataset;
 use rainshine_cart::params::CartParams;
 use rainshine_cart::tree::Tree;
 use rainshine_dcsim::SimulationOutput;
+use rainshine_telemetry::frame::FrameBuilder;
 use rainshine_telemetry::schema::columns;
-use rainshine_telemetry::table::{FeatureKind, Field, Schema, Table, TableBuilder, Value};
+use rainshine_telemetry::table::{FeatureKind, Field, Schema, Table};
 use rainshine_telemetry::time::SimTime;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -211,49 +212,70 @@ fn build_prediction_table(
     let start_day = output.config.start.days();
     let end_day = output.config.end.days();
     let (short, long) = config.history_days;
-    let mut builder = TableBuilder::new(prediction_schema());
+    let mut builder = FrameBuilder::new(prediction_schema());
     let mut day_of_row = Vec::new();
-    for rack in &output.fleet.racks {
-        // Prefix sums of this rack's daily counts for O(1) history lookups.
-        let days = (end_day - start_day) as usize;
-        let mut prefix = vec![0u64; days + 1];
-        for d in 0..days {
-            let c = counts.get(&(rack.id, start_day + d as u64)).copied().unwrap_or(0);
-            prefix[d + 1] = prefix[d] + c;
-        }
-        let window_sum = |from_day: i64, to_day: i64| -> f64 {
-            let lo = from_day.clamp(0, days as i64) as usize;
-            let hi = to_day.clamp(0, days as i64) as usize;
-            (prefix[hi] - prefix[lo]) as f64
+    {
+        let [sku_c, age_c, power_c, workload_c, temp_c, rh_c, dc_c, region_c, dow_c, short_c, long_c, label_c] =
+            builder.columns_mut()
+        else {
+            unreachable!("prediction schema has 12 columns")
         };
-        let first_eligible = start_day.max(rack.commissioned_day.max(0) as u64) + long;
-        let mut day = first_eligible;
-        while day + config.horizon_days < end_day {
-            let t = SimTime::from_days(day);
-            if rack.is_active(t) {
-                let rel = (day - start_day) as i64;
-                let label_window = window_sum(rel + 1, rel + 1 + config.horizon_days as i64);
-                let env = output.env.daily_mean(rack.dc, rack.region, day);
-                builder.push_row(vec![
-                    Value::Nominal(rack.sku.to_string()),
-                    Value::Continuous(rack.age_months(t)),
-                    Value::Continuous(rack.power_kw),
-                    Value::Nominal(rack.workload.to_string()),
-                    Value::Continuous(env.temp_f),
-                    Value::Continuous(env.rh),
-                    Value::Nominal(rack.dc.to_string()),
-                    Value::Nominal(format!("{}-{}", rack.dc, rack.region.0)),
-                    Value::Ordinal(t.day_of_week().index() as i64),
-                    Value::Continuous(window_sum(rel - short as i64 + 1, rel + 1)),
-                    Value::Continuous(window_sum(rel - long as i64 + 1, rel + 1)),
-                    Value::Nominal(if label_window > 0.0 { "fail".into() } else { "ok".into() }),
-                ])?;
-                day_of_row.push(day);
+        for rack in &output.fleet.racks {
+            // Prefix sums of this rack's daily counts for O(1) history lookups.
+            let days = (end_day - start_day) as usize;
+            let mut prefix = vec![0u64; days + 1];
+            for d in 0..days {
+                let c = counts.get(&(rack.id, start_day + d as u64)).copied().unwrap_or(0);
+                prefix[d + 1] = prefix[d] + c;
             }
-            day += config.day_stride as u64;
+            let window_sum = |from_day: i64, to_day: i64| -> f64 {
+                let lo = from_day.clamp(0, days as i64) as usize;
+                let hi = to_day.clamp(0, days as i64) as usize;
+                (prefix[hi] - prefix[lo]) as f64
+            };
+            // Static nominal codes, interned on the rack's first emitted row.
+            let mut rack_codes: Option<(u32, u32, u32, u32)> = None;
+            let first_eligible = start_day.max(rack.commissioned_day.max(0) as u64) + long;
+            let mut day = first_eligible;
+            while day + config.horizon_days < end_day {
+                let t = SimTime::from_days(day);
+                if rack.is_active(t) {
+                    let rel = (day - start_day) as i64;
+                    let label_window = window_sum(rel + 1, rel + 1 + config.horizon_days as i64);
+                    let env = output.env.daily_mean(rack.dc, rack.region, day);
+                    let (sku, workload, dc, region) = match rack_codes {
+                        Some(codes) => codes,
+                        None => {
+                            let codes = (
+                                sku_c.intern(&rack.sku.to_string()),
+                                workload_c.intern(&rack.workload.to_string()),
+                                dc_c.intern(&rack.dc.to_string()),
+                                region_c.intern(&format!("{}-{}", rack.dc, rack.region.0)),
+                            );
+                            rack_codes = Some(codes);
+                            codes
+                        }
+                    };
+                    sku_c.push_code(sku);
+                    age_c.push_f64(rack.age_months(t));
+                    power_c.push_f64(rack.power_kw);
+                    workload_c.push_code(workload);
+                    temp_c.push_f64(env.temp_f);
+                    rh_c.push_f64(env.rh);
+                    dc_c.push_code(dc);
+                    region_c.push_code(region);
+                    dow_c.push_i64(t.day_of_week().index() as i64);
+                    short_c.push_f64(window_sum(rel - short as i64 + 1, rel + 1));
+                    long_c.push_f64(window_sum(rel - long as i64 + 1, rel + 1));
+                    let label = label_c.intern(if label_window > 0.0 { "fail" } else { "ok" });
+                    label_c.push_code(label);
+                    day_of_row.push(day);
+                }
+                day += config.day_stride as u64;
+            }
         }
     }
-    let table = builder.build();
+    let table = Table::from_frame(builder.build()?);
     if table.is_empty() {
         return Err(AnalysisError::NoData { what: "no eligible rack-days for prediction".into() });
     }

@@ -15,7 +15,7 @@
 //! cover the `coverage`-quantile of each window's deficit ("at all times" →
 //! coverage = 1.0, the default).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rainshine_cart::dataset::CartDataset;
 use rainshine_cart::params::CartParams;
@@ -279,7 +279,9 @@ pub fn provision_servers(
     let rack_codes = table.nominal_codes(columns::RACK)?;
     let by_id: HashMap<RackId, &RackDeficits> = deficits.iter().map(|r| (r.rack, r)).collect();
 
-    let mut cluster_map: HashMap<usize, Vec<&RackDeficits>> = HashMap::new();
+    // BTreeMap: iterated below, and the float accumulation plus cluster
+    // listing are order-sensitive — keys must come out sorted.
+    let mut cluster_map: BTreeMap<usize, Vec<&RackDeficits>> = BTreeMap::new();
     for row in 0..table.rows() {
         let label = &rack_col[rack_codes[row] as usize];
         let rack_id = RackId(label.trim_start_matches('R').parse().expect("rack label"));
@@ -453,7 +455,8 @@ fn spares_triple(
     let rack_col = table.categories(columns::RACK)?;
     let rack_codes = table.nominal_codes(columns::RACK)?;
     let by_id: HashMap<RackId, &RackDeficits> = deficits.iter().map(|r| (r.rack, r)).collect();
-    let mut cluster_map: HashMap<usize, Vec<&RackDeficits>> = HashMap::new();
+    // BTreeMap: values() feeds an order-sensitive float sum below.
+    let mut cluster_map: BTreeMap<usize, Vec<&RackDeficits>> = BTreeMap::new();
     for row in 0..table.rows() {
         let label = &rack_col[rack_codes[row] as usize];
         let rack_id = RackId(label.trim_start_matches('R').parse().expect("rack label"));

@@ -12,8 +12,9 @@ use rainshine_cart::params::CartParams;
 use rainshine_cart::tree::Tree;
 use rainshine_cart::SplitRule;
 use rainshine_stats::hist::Binner;
+use rainshine_telemetry::frame::FrameBuilder;
 use rainshine_telemetry::schema::columns;
-use rainshine_telemetry::table::{FeatureKind, Field, Schema, Table, TableBuilder, Value};
+use rainshine_telemetry::table::{FeatureKind, Field, Schema, Table};
 use serde::{Deserialize, Serialize};
 
 use crate::evidence::{by_binned, SeriesRow};
@@ -167,18 +168,24 @@ fn normalized_env_table(table: &Table, cart: &CartParams) -> Result<Table> {
         Field::new(columns::RELATIVE_HUMIDITY, FeatureKind::Continuous),
         Field::new(columns::FAILURE_RATE, FeatureKind::Continuous),
     ]);
-    let mut b = TableBuilder::new(schema);
-    for i in 0..table.rows() {
-        let (sum, n) = sums[&strata[i]];
-        let stratum_mean = sum / n;
-        let normalized = if stratum_mean > 0.0 { y[i] / stratum_mean } else { 0.0 };
-        b.push_row(vec![
-            Value::Continuous(temp[i]),
-            Value::Continuous(rh[i]),
-            Value::Continuous(normalized),
-        ])?;
+    // Columnar assembly: temperature and RH copy straight from the source
+    // frame's column buffers; only the response is recomputed per row.
+    let mut b = FrameBuilder::new(schema);
+    b.reserve(table.rows());
+    {
+        let [temp_col, rh_col, resp_col] = b.columns_mut() else {
+            unreachable!("schema above has 3 columns")
+        };
+        for i in 0..table.rows() {
+            let (sum, n) = sums[&strata[i]];
+            let stratum_mean = sum / n;
+            let normalized = if stratum_mean > 0.0 { y[i] / stratum_mean } else { 0.0 };
+            temp_col.push_f64(temp[i]);
+            rh_col.push_f64(rh[i]);
+            resp_col.push_f64(normalized);
+        }
     }
-    Ok(b.build())
+    Ok(Table::from_frame(b.build()?))
 }
 
 /// Extracts environmental threshold rules from a tree fitted on the

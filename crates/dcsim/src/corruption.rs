@@ -341,7 +341,7 @@ pub struct SpikeCell {
     pub region: RegionId,
     /// Spiked day (absolute simulation day).
     pub day: u64,
-    /// Additive temperature error (°F), always ≥ [`SPIKE_MIN_F`] in
+    /// Additive temperature error (°F), always ≥ `SPIKE_MIN_F` (45 °F) in
     /// magnitude.
     pub delta_f: f64,
 }

@@ -5,6 +5,7 @@ use rainshine_parallel::derive_seed;
 use rainshine_telemetry::ids::{DcId, RackId, RegionId};
 use rainshine_telemetry::quality::{DataQualityReport, DefectClass, Sanitizer, SanitizerConfig};
 use rainshine_telemetry::rma::{self, RmaTicket};
+use rainshine_telemetry::time::SimTime;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -278,6 +279,39 @@ impl SimulationOutput {
             cond.temp_f += delta;
         }
         cond
+    }
+
+    /// Streams every active (rack, day) in rack-major, day-ascending order,
+    /// stepping days by `day_stride`, handing each visit the rack, the day's
+    /// [`SimTime`], and the ingested (sanitized) inlet conditions.
+    ///
+    /// This is the zero-copy emission path for columnar dataset assembly:
+    /// callers append straight into column builders instead of materializing
+    /// per-row value vectors. Returns the number of rack-days visited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day_stride == 0`.
+    pub fn for_each_active_rack_day<F>(&self, day_stride: usize, mut emit: F) -> usize
+    where
+        F: FnMut(&crate::topology::RackInfo, SimTime, InletConditions),
+    {
+        assert!(day_stride > 0, "day_stride must be positive");
+        let start_day = self.config.start.days();
+        let end_day = self.config.end.days();
+        let mut visited = 0usize;
+        for rack in &self.fleet.racks {
+            for day in (start_day..end_day).step_by(day_stride) {
+                let t = SimTime::from_days(day);
+                if !rack.is_active(t) {
+                    continue;
+                }
+                let env = self.ingested_daily_env(rack.dc, rack.region, day);
+                emit(rack, t, env);
+                visited += 1;
+            }
+        }
+        visited
     }
 
     /// Daily mean inlet conditions after robust ingestion: spikes are

@@ -1,7 +1,7 @@
 //! Survival analysis for component lifetimes.
 //!
 //! Reliability studies of the paper's kind routinely discuss lifetimes,
-//! MTTF, and bathtub hazards (its refs. [41], [46]). This module provides
+//! MTTF, and bathtub hazards (its refs. \[41\], \[46\]). This module provides
 //! the standard right-censored machinery:
 //!
 //! * the Kaplan–Meier product-limit estimator of the survival function,

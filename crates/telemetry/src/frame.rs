@@ -1,0 +1,845 @@
+//! Zero-copy columnar frames.
+//!
+//! [`Frame`] is the workspace's columnar storage primitive: each column is
+//! one contiguous typed buffer (`Vec<f64>` / `Vec<i64>` / `Vec<u32>` codes),
+//! nominal columns share their category labels through a reference-counted
+//! [`Dictionary`], and row subsets are either *borrowed* ([`FrameView`] — no
+//! copying at all) or *materialized* ([`Frame::subset`] — values gathered,
+//! dictionaries and schema shared, never cloned).
+//!
+//! [`crate::table::Table`] is a thin wrapper over `Frame` that keeps the
+//! original row-oriented convenience API; hot paths (the simulator's
+//! rack-day emission, CART fitting) go straight to the columns via
+//! [`FrameBuilder::columns_mut`] and the typed accessors, so no per-row
+//! `Vec<Value>` or label `String` is ever allocated there.
+//!
+//! # Ownership and borrowing rules
+//!
+//! * `Frame` is immutable once built; cloning a frame clones the value
+//!   buffers but *shares* schema and dictionaries (`Arc`).
+//! * `FrameView` borrows both the frame and the row-index slice; it never
+//!   allocates. Use it to thread a row subset through analysis code.
+//! * `Frame::subset` gathers values into fresh buffers but shares the
+//!   schema and every nominal dictionary, so codes remain comparable
+//!   across a frame and all its subsets.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::table::{FeatureKind, Schema, Value};
+use crate::{Result, TelemetryError};
+
+/// An immutable, shareable set of interned category labels.
+///
+/// Codes are indices into the label list, assigned in first-seen order by
+/// the builder that interned them. Cloning a dictionary is an `Arc` bump;
+/// a frame and every subset derived from it share one allocation.
+#[derive(Debug, Clone)]
+pub struct Dictionary {
+    labels: Arc<Vec<String>>,
+}
+
+impl Dictionary {
+    /// Wraps a label list. Codes are the indices into `labels`.
+    pub fn new(labels: Vec<String>) -> Self {
+        Dictionary { labels: Arc::new(labels) }
+    }
+
+    /// The labels, indexed by code.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dictionary has no labels.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label of `code`, if in range.
+    pub fn label(&self, code: u32) -> Option<&str> {
+        self.labels.get(code as usize).map(String::as_str)
+    }
+
+    /// The code of `label`, if interned.
+    pub fn code_of(&self, label: &str) -> Option<u32> {
+        self.labels.iter().position(|l| l == label).map(|i| i as u32)
+    }
+
+    /// Whether two dictionaries share the same allocation (O(1)).
+    pub fn same_allocation(&self, other: &Dictionary) -> bool {
+        Arc::ptr_eq(&self.labels, &other.labels)
+    }
+}
+
+impl PartialEq for Dictionary {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_allocation(other) || self.labels == other.labels
+    }
+}
+
+impl serde::Serialize for Dictionary {
+    fn to_value(&self) -> serde::Value {
+        self.labels.as_slice().to_value()
+    }
+}
+
+impl serde::Deserialize for Dictionary {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        Vec::<String>::from_value(v).map(Dictionary::new)
+    }
+}
+
+/// One contiguous typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Real-valued observations.
+    Continuous(Vec<f64>),
+    /// Interned category codes plus their shared label dictionary.
+    Nominal {
+        /// Per-row codes, indices into `dict`.
+        codes: Vec<u32>,
+        /// Shared label dictionary.
+        dict: Dictionary,
+    },
+    /// Ordered categorical levels.
+    Ordinal(Vec<i64>),
+}
+
+impl Column {
+    /// The column's feature kind.
+    pub fn kind(&self) -> FeatureKind {
+        match self {
+            Column::Continuous(_) => FeatureKind::Continuous,
+            Column::Nominal { .. } => FeatureKind::Nominal,
+            Column::Ordinal(_) => FeatureKind::Ordinal,
+        }
+    }
+
+    /// Number of values in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Continuous(data) => data.len(),
+            Column::Nominal { codes, .. } => codes.len(),
+            Column::Ordinal(data) => data.len(),
+        }
+    }
+
+    /// Whether the column has no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Gathers `rows` into a fresh column; nominal dictionaries are shared.
+    fn gather(&self, rows: &[usize]) -> Column {
+        match self {
+            Column::Continuous(data) => Column::Continuous(rows.iter().map(|&r| data[r]).collect()),
+            Column::Ordinal(data) => Column::Ordinal(rows.iter().map(|&r| data[r]).collect()),
+            Column::Nominal { codes, dict } => Column::Nominal {
+                codes: rows.iter().map(|&r| codes[r]).collect(),
+                dict: dict.clone(),
+            },
+        }
+    }
+}
+
+// Serialized exactly like the pre-frame derived column enum, so `Table`
+// JSON (and every results file) keeps its shape: the dictionary appears
+// under the `categories` key as a plain label array.
+impl serde::Serialize for Column {
+    fn to_value(&self) -> serde::Value {
+        let (tag, inner) = match self {
+            Column::Continuous(data) => ("Continuous", data.to_value()),
+            Column::Ordinal(data) => ("Ordinal", data.to_value()),
+            Column::Nominal { codes, dict } => (
+                "Nominal",
+                serde::Value::Object(vec![
+                    ("codes".to_string(), codes.to_value()),
+                    ("categories".to_string(), dict.to_value()),
+                ]),
+            ),
+        };
+        serde::Value::Object(vec![(tag.to_string(), inner)])
+    }
+}
+
+impl serde::Deserialize for Column {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let pairs = v.as_object().ok_or_else(|| serde::Error::expected("column object", v))?;
+        let [(tag, inner)] = pairs else {
+            return Err(serde::Error::custom("expected single-variant column object"));
+        };
+        match tag.as_str() {
+            "Continuous" => Vec::<f64>::from_value(inner).map(Column::Continuous),
+            "Ordinal" => Vec::<i64>::from_value(inner).map(Column::Ordinal),
+            "Nominal" => Ok(Column::Nominal {
+                codes: Vec::<u32>::from_value(inner.field("codes"))?,
+                dict: Dictionary::from_value(inner.field("categories"))?,
+            }),
+            other => Err(serde::Error::custom(format!("unknown column variant `{other}`"))),
+        }
+    }
+}
+
+/// An immutable typed columnar frame.
+///
+/// Construct one with [`FrameBuilder`] (columnar, zero per-row overhead)
+/// or through [`crate::table::TableBuilder`] (row-oriented convenience).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    schema: Arc<Schema>,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Frame {
+    /// Assembles a frame from pre-built columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::ValueKind`] if a column's kind does not
+    /// match its field, and [`TelemetryError::RowArity`] if the column
+    /// count or any column length disagrees with the rest.
+    pub fn new(schema: Arc<Schema>, columns: Vec<Column>) -> Result<Frame> {
+        if columns.len() != schema.len() {
+            return Err(TelemetryError::RowArity { expected: schema.len(), got: columns.len() });
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for (i, (field, col)) in schema.fields().iter().zip(&columns).enumerate() {
+            if field.kind != col.kind() {
+                return Err(TelemetryError::ValueKind { column: i });
+            }
+            if col.len() != rows {
+                return Err(TelemetryError::RowArity { expected: rows, got: col.len() });
+            }
+        }
+        Ok(Frame { schema, columns, rows })
+    }
+
+    /// The frame's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The shared schema handle (an `Arc` bump, not a deep clone).
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the frame has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// All columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The column at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Looks up a column by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::UnknownColumn`] if `name` is not in the
+    /// schema.
+    pub fn column_by_name(&self, name: &str) -> Result<(usize, &Column)> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| TelemetryError::UnknownColumn { name: name.to_owned() })?;
+        Ok((idx, &self.columns[idx]))
+    }
+
+    /// The values of a continuous column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not continuous.
+    pub fn continuous(&self, name: &str) -> Result<&[f64]> {
+        match self.column_by_name(name)? {
+            (_, Column::Continuous(data)) => Ok(data),
+            (_, other) => Err(kind_mismatch(name, "continuous", other)),
+        }
+    }
+
+    /// The codes of a nominal column (indices into its dictionary).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not nominal.
+    pub fn nominal_codes(&self, name: &str) -> Result<&[u32]> {
+        match self.column_by_name(name)? {
+            (_, Column::Nominal { codes, .. }) => Ok(codes),
+            (_, other) => Err(kind_mismatch(name, "nominal", other)),
+        }
+    }
+
+    /// The shared label dictionary of a nominal column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not nominal.
+    pub fn dictionary(&self, name: &str) -> Result<&Dictionary> {
+        match self.column_by_name(name)? {
+            (_, Column::Nominal { dict, .. }) => Ok(dict),
+            (_, other) => Err(kind_mismatch(name, "nominal", other)),
+        }
+    }
+
+    /// The values of an ordinal column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not ordinal.
+    pub fn ordinal(&self, name: &str) -> Result<&[i64]> {
+        match self.column_by_name(name)? {
+            (_, Column::Ordinal(data)) => Ok(data),
+            (_, other) => Err(kind_mismatch(name, "ordinal", other)),
+        }
+    }
+
+    /// Materializes a new frame containing only `rows` (in the given
+    /// order). Schema and dictionaries are shared, not cloned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, rows: &[usize]) -> Frame {
+        Frame {
+            schema: Arc::clone(&self.schema),
+            columns: self.columns.iter().map(|c| c.gather(rows)).collect(),
+            rows: rows.len(),
+        }
+    }
+
+    /// A borrowed view of `rows` — no gathering, no allocation.
+    pub fn view<'a>(&'a self, rows: &'a [usize]) -> FrameView<'a> {
+        FrameView { frame: self, rows }
+    }
+}
+
+// Serialized as `{ schema, columns, rows }`, byte-compatible with the
+// pre-frame derived `Table` representation.
+impl serde::Serialize for Frame {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("schema".to_string(), self.schema.to_value()),
+            ("columns".to_string(), self.columns.to_value()),
+            ("rows".to_string(), self.rows.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Frame {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        if v.as_object().is_none() {
+            return Err(serde::Error::expected("frame object", v));
+        }
+        let schema = Schema::from_value(v.field("schema"))?;
+        let columns = Vec::<Column>::from_value(v.field("columns"))?;
+        let rows = usize::from_value(v.field("rows"))?;
+        let frame = Frame::new(Arc::new(schema), columns)
+            .map_err(|e| serde::Error::custom(format!("invalid frame: {e}")))?;
+        if frame.rows != rows {
+            return Err(serde::Error::custom(format!(
+                "frame row count {} disagrees with columns ({})",
+                rows, frame.rows
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+fn kind_mismatch(name: &str, requested: &'static str, actual: &Column) -> TelemetryError {
+    let actual = match actual {
+        Column::Continuous(_) => "continuous",
+        Column::Nominal { .. } => "nominal",
+        Column::Ordinal(_) => "ordinal",
+    };
+    TelemetryError::KindMismatch { name: name.to_owned(), requested, actual }
+}
+
+/// A borrowed row subset of a [`Frame`]: the frame and the index slice
+/// are both borrowed, so constructing a view allocates nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    frame: &'a Frame,
+    rows: &'a [usize],
+}
+
+impl<'a> FrameView<'a> {
+    /// The underlying frame.
+    pub fn frame(&self) -> &'a Frame {
+        self.frame
+    }
+
+    /// The row indices this view selects, in order.
+    pub fn rows(&self) -> &'a [usize] {
+        self.rows
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the view selects no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Gathers the selected values of a continuous column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not continuous.
+    pub fn gather_continuous(&self, name: &str) -> Result<Vec<f64>> {
+        let data = self.frame.continuous(name)?;
+        Ok(self.rows.iter().map(|&r| data[r]).collect())
+    }
+
+    /// Gathers the selected codes of a nominal column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not nominal.
+    pub fn gather_codes(&self, name: &str) -> Result<Vec<u32>> {
+        let codes = self.frame.nominal_codes(name)?;
+        Ok(self.rows.iter().map(|&r| codes[r]).collect())
+    }
+
+    /// Gathers the selected values of an ordinal column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column is missing or not ordinal.
+    pub fn gather_ordinal(&self, name: &str) -> Result<Vec<i64>> {
+        let data = self.frame.ordinal(name)?;
+        Ok(self.rows.iter().map(|&r| data[r]).collect())
+    }
+
+    /// Materializes the view into an owned frame (see [`Frame::subset`]).
+    pub fn materialize(&self) -> Frame {
+        self.frame.subset(self.rows)
+    }
+}
+
+/// Mutable storage for one column while a frame is being assembled.
+///
+/// The typed `push_*` methods let hot loops write a value per column
+/// without constructing row vectors; nominal columns can intern a label
+/// once and then push the returned code per row, so repeated labels cost
+/// one `Vec<u32>` push instead of a `String` allocation plus a hash.
+#[derive(Debug, Clone)]
+pub enum ColumnBuilder {
+    /// Builds a continuous column.
+    Continuous(Vec<f64>),
+    /// Builds a nominal column: codes plus the interner growing its
+    /// dictionary in first-seen order.
+    Nominal {
+        /// Per-row codes pushed so far.
+        codes: Vec<u32>,
+        /// Labels in first-seen (code) order.
+        labels: Vec<String>,
+        /// Label → code lookup.
+        interner: HashMap<String, u32>,
+    },
+    /// Builds an ordinal column.
+    Ordinal(Vec<i64>),
+}
+
+impl ColumnBuilder {
+    /// A fresh builder for `kind`.
+    pub fn new(kind: FeatureKind) -> Self {
+        match kind {
+            FeatureKind::Continuous => ColumnBuilder::Continuous(Vec::new()),
+            FeatureKind::Nominal => ColumnBuilder::Nominal {
+                codes: Vec::new(),
+                labels: Vec::new(),
+                interner: HashMap::new(),
+            },
+            FeatureKind::Ordinal => ColumnBuilder::Ordinal(Vec::new()),
+        }
+    }
+
+    /// The kind this builder produces.
+    pub fn kind(&self) -> FeatureKind {
+        match self {
+            ColumnBuilder::Continuous(_) => FeatureKind::Continuous,
+            ColumnBuilder::Nominal { .. } => FeatureKind::Nominal,
+            ColumnBuilder::Ordinal(_) => FeatureKind::Ordinal,
+        }
+    }
+
+    /// Number of values pushed so far.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnBuilder::Continuous(data) => data.len(),
+            ColumnBuilder::Nominal { codes, .. } => codes.len(),
+            ColumnBuilder::Ordinal(data) => data.len(),
+        }
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserves capacity for `additional` more values.
+    pub fn reserve(&mut self, additional: usize) {
+        match self {
+            ColumnBuilder::Continuous(data) => data.reserve(additional),
+            ColumnBuilder::Nominal { codes, .. } => codes.reserve(additional),
+            ColumnBuilder::Ordinal(data) => data.reserve(additional),
+        }
+    }
+
+    /// Appends a continuous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a continuous builder.
+    pub fn push_f64(&mut self, v: f64) {
+        match self {
+            ColumnBuilder::Continuous(data) => data.push(v),
+            other => panic!("push_f64 on {} column builder", other.kind()),
+        }
+    }
+
+    /// Appends an ordinal value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not an ordinal builder.
+    pub fn push_i64(&mut self, v: i64) {
+        match self {
+            ColumnBuilder::Ordinal(data) => data.push(v),
+            other => panic!("push_i64 on {} column builder", other.kind()),
+        }
+    }
+
+    /// Interns `label` (first-seen order) and returns its code without
+    /// pushing a row. Emission loops intern each label once, then call
+    /// [`ColumnBuilder::push_code`] per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a nominal builder.
+    pub fn intern(&mut self, label: &str) -> u32 {
+        match self {
+            ColumnBuilder::Nominal { labels, interner, .. } => {
+                if let Some(&code) = interner.get(label) {
+                    return code;
+                }
+                let code = labels.len() as u32;
+                labels.push(label.to_owned());
+                interner.insert(label.to_owned(), code);
+                code
+            }
+            other => panic!("intern on {} column builder", other.kind()),
+        }
+    }
+
+    /// Appends a previously interned code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a nominal builder or `code` was never
+    /// returned by [`ColumnBuilder::intern`].
+    pub fn push_code(&mut self, code: u32) {
+        match self {
+            ColumnBuilder::Nominal { codes, labels, .. } => {
+                assert!((code as usize) < labels.len(), "code {code} has no interned label");
+                codes.push(code);
+            }
+            other => panic!("push_code on {} column builder", other.kind()),
+        }
+    }
+
+    /// Interns `label` and appends its code in one step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is not a nominal builder.
+    pub fn push_label(&mut self, label: &str) {
+        let code = self.intern(label);
+        match self {
+            ColumnBuilder::Nominal { codes, .. } => codes.push(code),
+            _ => unreachable!("intern already checked the kind"),
+        }
+    }
+
+    fn finish(self) -> Column {
+        match self {
+            ColumnBuilder::Continuous(data) => Column::Continuous(data),
+            ColumnBuilder::Ordinal(data) => Column::Ordinal(data),
+            ColumnBuilder::Nominal { codes, labels, .. } => {
+                Column::Nominal { codes, dict: Dictionary::new(labels) }
+            }
+        }
+    }
+}
+
+/// Builds a [`Frame`] column-wise.
+///
+/// # Example
+///
+/// ```
+/// use rainshine_telemetry::frame::FrameBuilder;
+/// use rainshine_telemetry::table::{Field, FeatureKind, Schema};
+///
+/// let schema = Schema::new(vec![
+///     Field::new("temp", FeatureKind::Continuous),
+///     Field::new("sku", FeatureKind::Nominal),
+/// ]);
+/// let mut b = FrameBuilder::new(schema);
+/// let [temp, sku] = b.columns_mut() else { unreachable!() };
+/// let s1 = sku.intern("S1");
+/// for day in 0..3 {
+///     temp.push_f64(65.0 + day as f64);
+///     sku.push_code(s1);
+/// }
+/// let frame = b.build()?;
+/// assert_eq!(frame.rows(), 3);
+/// assert_eq!(frame.nominal_codes("sku")?, &[0, 0, 0]);
+/// # Ok::<(), rainshine_telemetry::TelemetryError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameBuilder {
+    schema: Arc<Schema>,
+    columns: Vec<ColumnBuilder>,
+}
+
+impl FrameBuilder {
+    /// Creates a builder with one [`ColumnBuilder`] per schema field.
+    pub fn new(schema: Schema) -> Self {
+        FrameBuilder::with_schema_arc(Arc::new(schema))
+    }
+
+    /// Like [`FrameBuilder::new`] but sharing an existing schema handle.
+    pub fn with_schema_arc(schema: Arc<Schema>) -> Self {
+        let columns = schema.fields().iter().map(|f| ColumnBuilder::new(f.kind)).collect();
+        FrameBuilder { schema, columns }
+    }
+
+    /// The target schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All column builders, for split borrows in emission loops.
+    pub fn columns_mut(&mut self) -> &mut [ColumnBuilder] {
+        &mut self.columns
+    }
+
+    /// The builder for the column at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn column_mut(&mut self, idx: usize) -> &mut ColumnBuilder {
+        &mut self.columns[idx]
+    }
+
+    /// Reserves capacity for `additional` rows in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        for col in &mut self.columns {
+            col.reserve(additional);
+        }
+    }
+
+    /// Appends one row from cell values (the row-oriented compatibility
+    /// path used by [`crate::table::TableBuilder`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::RowArity`] for a wrong-length row and
+    /// [`TelemetryError::ValueKind`] if a value does not match its
+    /// column's kind. A failed push leaves the builder intact.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<&mut Self> {
+        if row.len() != self.schema.len() {
+            return Err(TelemetryError::RowArity { expected: self.schema.len(), got: row.len() });
+        }
+        // Validate before mutating so a failed push leaves the builder intact.
+        for (i, v) in row.iter().enumerate() {
+            let ok = matches!(
+                (&self.columns[i], v),
+                (ColumnBuilder::Continuous(_), Value::Continuous(_))
+                    | (ColumnBuilder::Nominal { .. }, Value::Nominal(_))
+                    | (ColumnBuilder::Ordinal(_), Value::Ordinal(_))
+            );
+            if !ok {
+                return Err(TelemetryError::ValueKind { column: i });
+            }
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            match v {
+                Value::Continuous(x) => col.push_f64(x),
+                Value::Ordinal(x) => col.push_i64(x),
+                Value::Nominal(label) => col.push_label(&label),
+            }
+        }
+        Ok(self)
+    }
+
+    /// Finalizes the frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::RowArity`] if the columns were left at
+    /// different lengths.
+    pub fn build(self) -> Result<Frame> {
+        let rows = self.columns.first().map_or(0, ColumnBuilder::len);
+        for col in &self.columns {
+            if col.len() != rows {
+                return Err(TelemetryError::RowArity { expected: rows, got: col.len() });
+            }
+        }
+        let columns = self.columns.into_iter().map(ColumnBuilder::finish).collect();
+        Ok(Frame { schema: self.schema, columns, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Field;
+
+    fn sample_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("x", FeatureKind::Continuous),
+            Field::new("k", FeatureKind::Nominal),
+            Field::new("o", FeatureKind::Ordinal),
+        ])
+    }
+
+    fn sample_frame() -> Frame {
+        let mut b = FrameBuilder::new(sample_schema());
+        let [x, k, o] = b.columns_mut() else { unreachable!() };
+        for (xv, kv, ov) in [(1.0, "a", 0i64), (2.0, "b", 1), (3.0, "a", 2), (4.0, "c", 0)] {
+            x.push_f64(xv);
+            k.push_label(kv);
+            o.push_i64(ov);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn columnar_assembly_matches_row_assembly() {
+        let f = sample_frame();
+        assert_eq!(f.rows(), 4);
+        assert_eq!(f.continuous("x").unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(f.nominal_codes("k").unwrap(), &[0, 1, 0, 2]);
+        assert_eq!(f.dictionary("k").unwrap().labels(), &["a", "b", "c"]);
+        assert_eq!(f.ordinal("o").unwrap(), &[0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn intern_then_push_code_skips_reinterning() {
+        let mut b = FrameBuilder::new(Schema::new(vec![Field::new("k", FeatureKind::Nominal)]));
+        let k = b.column_mut(0);
+        let a = k.intern("a");
+        let b2 = k.intern("b");
+        assert_eq!(k.intern("a"), a);
+        k.push_code(b2);
+        k.push_code(a);
+        let f = b.build().unwrap();
+        assert_eq!(f.nominal_codes("k").unwrap(), &[1, 0]);
+    }
+
+    #[test]
+    fn build_rejects_ragged_columns() {
+        let mut b = FrameBuilder::new(sample_schema());
+        b.column_mut(0).push_f64(1.0);
+        assert!(matches!(b.build(), Err(TelemetryError::RowArity { .. })));
+    }
+
+    #[test]
+    fn subset_shares_schema_and_dictionaries() {
+        let f = sample_frame();
+        let s = f.subset(&[3, 0]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.continuous("x").unwrap(), &[4.0, 1.0]);
+        assert_eq!(s.nominal_codes("k").unwrap(), &[2, 0]);
+        assert!(s.dictionary("k").unwrap().same_allocation(f.dictionary("k").unwrap()));
+        assert!(Arc::ptr_eq(&s.schema, &f.schema));
+    }
+
+    #[test]
+    fn view_borrows_without_gathering() {
+        let f = sample_frame();
+        let rows = [1, 3];
+        let v = f.view(&rows);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.gather_continuous("x").unwrap(), vec![2.0, 4.0]);
+        assert_eq!(v.gather_codes("k").unwrap(), vec![1, 2]);
+        assert_eq!(v.gather_ordinal("o").unwrap(), vec![1, 0]);
+        assert_eq!(v.materialize(), f.subset(&rows));
+    }
+
+    #[test]
+    fn frame_new_validates_shape() {
+        let schema = Arc::new(sample_schema());
+        // Wrong column count.
+        assert!(matches!(
+            Frame::new(Arc::clone(&schema), vec![Column::Continuous(vec![1.0])]),
+            Err(TelemetryError::RowArity { .. })
+        ));
+        // Kind mismatch.
+        let cols = vec![
+            Column::Ordinal(vec![1]),
+            Column::Nominal { codes: vec![0], dict: Dictionary::new(vec!["a".into()]) },
+            Column::Ordinal(vec![1]),
+        ];
+        assert!(matches!(
+            Frame::new(Arc::clone(&schema), cols),
+            Err(TelemetryError::ValueKind { column: 0 })
+        ));
+        // Ragged lengths.
+        let cols = vec![
+            Column::Continuous(vec![1.0, 2.0]),
+            Column::Nominal { codes: vec![0], dict: Dictionary::new(vec!["a".into()]) },
+            Column::Ordinal(vec![1, 2]),
+        ];
+        assert!(matches!(Frame::new(schema, cols), Err(TelemetryError::RowArity { .. })));
+    }
+
+    #[test]
+    fn frame_serde_round_trips() {
+        let f = sample_frame();
+        let v = serde::Serialize::to_value(&f);
+        let back: Frame = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn dictionary_equality_and_sharing() {
+        let d1 = Dictionary::new(vec!["a".into(), "b".into()]);
+        let d2 = d1.clone();
+        let d3 = Dictionary::new(vec!["a".into(), "b".into()]);
+        assert!(d1.same_allocation(&d2));
+        assert!(!d1.same_allocation(&d3));
+        assert_eq!(d1, d3);
+        assert_eq!(d1.code_of("b"), Some(1));
+        assert_eq!(d1.label(0), Some("a"));
+        assert_eq!(d1.label(9), None);
+    }
+}

@@ -11,8 +11,11 @@
 //!   aggregation windows ([`time::TimeGranularity`]);
 //! * [`rma`] — RMA failure tickets with the paper's Table II taxonomy
 //!   (software / boot / hardware / other, with per-category fault types);
+//! * [`frame`] — zero-copy columnar frames: contiguous typed column
+//!   buffers, shared category dictionaries, borrowed row views;
 //! * [`table`] — a typed columnar table (continuous / nominal / ordinal
-//!   columns) used as the dataset representation for CART;
+//!   columns) used as the dataset representation for CART, a thin wrapper
+//!   over [`frame::Frame`];
 //! * [`schema`] — the canonical candidate-feature schema (Table III);
 //! * [`metrics`] — the paper's two failure metrics: generation rate λ and
 //!   concurrent-failure count μ, at arbitrary spatial × temporal
@@ -21,6 +24,7 @@
 //!   dedups, repairs, or quarantines defective tickets and accounts for
 //!   every row in a [`quality::DataQualityReport`].
 
+pub mod frame;
 pub mod ids;
 pub mod metrics;
 pub mod quality;

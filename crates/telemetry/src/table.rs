@@ -6,14 +6,22 @@
 //! exactly the three feature types of the paper's Table III. [`Table`]
 //! stores each column natively (f64 / interned category codes / i64) and
 //! offers the row-subset and group-by operations tree building needs.
+//!
+//! Since the columnar refactor, `Table` is a thin wrapper around
+//! [`crate::frame::Frame`]: the row-oriented [`TableBuilder::push_row`] API
+//! and every accessor are unchanged, but storage, subsetting (which now
+//! shares schema and category dictionaries instead of cloning them), and
+//! serialization live in the frame layer. Hot paths assemble frames
+//! column-wise with [`crate::frame::FrameBuilder`] and wrap the result via
+//! [`Table::from_frame`].
 
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Result, TelemetryError};
+use crate::frame::{Column, Frame, FrameBuilder, FrameView};
+use crate::Result;
 
 /// The type of a feature column (Table III's C / N / O).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -137,90 +145,34 @@ impl From<i64> for Value {
     }
 }
 
-/// Column storage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum ColumnData {
-    Continuous(Vec<f64>),
-    Nominal { codes: Vec<u32>, categories: Vec<String> },
-    Ordinal(Vec<i64>),
-}
-
 /// Builds a [`Table`] row by row.
 #[derive(Debug, Clone)]
 pub struct TableBuilder {
-    schema: Schema,
-    columns: Vec<ColumnData>,
-    interners: Vec<Option<HashMap<String, u32>>>,
-    rows: usize,
+    inner: FrameBuilder,
 }
 
 impl TableBuilder {
     /// Creates a builder for `schema`.
     pub fn new(schema: Schema) -> Self {
-        let columns = schema
-            .fields()
-            .iter()
-            .map(|f| match f.kind {
-                FeatureKind::Continuous => ColumnData::Continuous(Vec::new()),
-                FeatureKind::Nominal => {
-                    ColumnData::Nominal { codes: Vec::new(), categories: Vec::new() }
-                }
-                FeatureKind::Ordinal => ColumnData::Ordinal(Vec::new()),
-            })
-            .collect();
-        let interners = schema
-            .fields()
-            .iter()
-            .map(|f| (f.kind == FeatureKind::Nominal).then(HashMap::new))
-            .collect();
-        TableBuilder { schema, columns, interners, rows: 0 }
+        TableBuilder { inner: FrameBuilder::new(schema) }
     }
 
     /// Appends one row.
     ///
     /// # Errors
     ///
-    /// Returns [`TelemetryError::RowArity`] for a wrong-length row and
-    /// [`TelemetryError::ValueKind`] if a value does not match its column's
-    /// kind.
+    /// Returns [`crate::TelemetryError::RowArity`] for a wrong-length row
+    /// and [`crate::TelemetryError::ValueKind`] if a value does not match
+    /// its column's kind.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<&mut Self> {
-        if row.len() != self.schema.len() {
-            return Err(TelemetryError::RowArity { expected: self.schema.len(), got: row.len() });
-        }
-        // Validate before mutating so a failed push leaves the builder intact.
-        for (i, v) in row.iter().enumerate() {
-            let ok = matches!(
-                (&self.columns[i], v),
-                (ColumnData::Continuous(_), Value::Continuous(_))
-                    | (ColumnData::Nominal { .. }, Value::Nominal(_))
-                    | (ColumnData::Ordinal(_), Value::Ordinal(_))
-            );
-            if !ok {
-                return Err(TelemetryError::ValueKind { column: i });
-            }
-        }
-        for (i, v) in row.into_iter().enumerate() {
-            match (&mut self.columns[i], v) {
-                (ColumnData::Continuous(data), Value::Continuous(x)) => data.push(x),
-                (ColumnData::Ordinal(data), Value::Ordinal(x)) => data.push(x),
-                (ColumnData::Nominal { codes, categories }, Value::Nominal(label)) => {
-                    let interner = self.interners[i].as_mut().expect("nominal column has interner");
-                    let code = *interner.entry(label.clone()).or_insert_with(|| {
-                        categories.push(label);
-                        (categories.len() - 1) as u32
-                    });
-                    codes.push(code);
-                }
-                _ => unreachable!("validated above"),
-            }
-        }
-        self.rows += 1;
+        self.inner.push_row(row)?;
         Ok(self)
     }
 
     /// Finalizes the table.
     pub fn build(self) -> Table {
-        Table { schema: self.schema, columns: self.columns, rows: self.rows }
+        let frame = self.inner.build().expect("push_row keeps all columns at the same length");
+        Table { frame }
     }
 }
 
@@ -243,35 +195,45 @@ impl TableBuilder {
 /// assert_eq!(table.continuous("temp")?[1], 80.5);
 /// # Ok::<(), rainshine_telemetry::TelemetryError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
-    schema: Schema,
-    columns: Vec<ColumnData>,
-    rows: usize,
+    frame: Frame,
 }
 
 impl Table {
+    /// Wraps a column-assembled frame as a table.
+    pub fn from_frame(frame: Frame) -> Table {
+        Table { frame }
+    }
+
+    /// The underlying columnar frame.
+    pub fn frame(&self) -> &Frame {
+        &self.frame
+    }
+
+    /// Unwraps into the underlying frame.
+    pub fn into_frame(self) -> Frame {
+        self.frame
+    }
+
+    /// A borrowed view of `rows` over the underlying frame — no copying.
+    pub fn view<'a>(&'a self, rows: &'a [usize]) -> FrameView<'a> {
+        self.frame.view(rows)
+    }
+
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        self.frame.schema()
     }
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
-        self.rows
+        self.frame.rows()
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows == 0
-    }
-
-    fn column(&self, name: &str) -> Result<(usize, &ColumnData)> {
-        let idx = self
-            .schema
-            .index_of(name)
-            .ok_or_else(|| TelemetryError::UnknownColumn { name: name.to_owned() })?;
-        Ok((idx, &self.columns[idx]))
+        self.frame.is_empty()
     }
 
     /// The values of a continuous column.
@@ -280,10 +242,7 @@ impl Table {
     ///
     /// Returns an error if the column is missing or not continuous.
     pub fn continuous(&self, name: &str) -> Result<&[f64]> {
-        match self.column(name)? {
-            (_, ColumnData::Continuous(data)) => Ok(data),
-            (_, other) => Err(self.kind_mismatch(name, "continuous", other)),
-        }
+        self.frame.continuous(name)
     }
 
     /// The codes of a nominal column (indices into [`Table::categories`]).
@@ -292,10 +251,7 @@ impl Table {
     ///
     /// Returns an error if the column is missing or not nominal.
     pub fn nominal_codes(&self, name: &str) -> Result<&[u32]> {
-        match self.column(name)? {
-            (_, ColumnData::Nominal { codes, .. }) => Ok(codes),
-            (_, other) => Err(self.kind_mismatch(name, "nominal", other)),
-        }
+        self.frame.nominal_codes(name)
     }
 
     /// The category labels of a nominal column, indexed by code.
@@ -304,10 +260,7 @@ impl Table {
     ///
     /// Returns an error if the column is missing or not nominal.
     pub fn categories(&self, name: &str) -> Result<&[String]> {
-        match self.column(name)? {
-            (_, ColumnData::Nominal { categories, .. }) => Ok(categories),
-            (_, other) => Err(self.kind_mismatch(name, "nominal", other)),
-        }
+        Ok(self.frame.dictionary(name)?.labels())
     }
 
     /// The values of an ordinal column.
@@ -316,10 +269,7 @@ impl Table {
     ///
     /// Returns an error if the column is missing or not ordinal.
     pub fn ordinal(&self, name: &str) -> Result<&[i64]> {
-        match self.column(name)? {
-            (_, ColumnData::Ordinal(data)) => Ok(data),
-            (_, other) => Err(self.kind_mismatch(name, "ordinal", other)),
-        }
+        self.frame.ordinal(name)
     }
 
     /// A column's values coerced to `f64`, regardless of kind. Nominal
@@ -330,25 +280,11 @@ impl Table {
     ///
     /// Returns an error if the column is missing.
     pub fn as_f64(&self, name: &str) -> Result<Vec<f64>> {
-        Ok(match self.column(name)? {
-            (_, ColumnData::Continuous(data)) => data.clone(),
-            (_, ColumnData::Nominal { codes, .. }) => codes.iter().map(|&c| c as f64).collect(),
-            (_, ColumnData::Ordinal(data)) => data.iter().map(|&v| v as f64).collect(),
+        Ok(match self.frame.column_by_name(name)? {
+            (_, Column::Continuous(data)) => data.clone(),
+            (_, Column::Nominal { codes, .. }) => codes.iter().map(|&c| c as f64).collect(),
+            (_, Column::Ordinal(data)) => data.iter().map(|&v| v as f64).collect(),
         })
-    }
-
-    fn kind_mismatch(
-        &self,
-        name: &str,
-        requested: &'static str,
-        actual: &ColumnData,
-    ) -> TelemetryError {
-        let actual = match actual {
-            ColumnData::Continuous(_) => "continuous",
-            ColumnData::Nominal { .. } => "nominal",
-            ColumnData::Ordinal(_) => "ordinal",
-        };
-        TelemetryError::KindMismatch { name: name.to_owned(), requested, actual }
     }
 
     /// Row indices satisfying `predicate` on a continuous column.
@@ -377,11 +313,9 @@ impl Table {
     ///
     /// Returns an error if the column is missing or not nominal.
     pub fn filter_nominal(&self, name: &str, label: &str) -> Result<Vec<usize>> {
-        let cats = self.categories(name)?;
-        let Some(code) = cats.iter().position(|c| c == label) else {
+        let Some(code) = self.frame.dictionary(name)?.code_of(label) else {
             return Ok(Vec::new());
         };
-        let code = code as u32;
         Ok(self
             .nominal_codes(name)?
             .iter()
@@ -405,28 +339,13 @@ impl Table {
     }
 
     /// Materializes a new table containing only `rows` (in the given order).
+    /// The schema and all category dictionaries are shared, not cloned.
     ///
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
     pub fn subset(&self, rows: &[usize]) -> Table {
-        let columns = self
-            .columns
-            .iter()
-            .map(|col| match col {
-                ColumnData::Continuous(data) => {
-                    ColumnData::Continuous(rows.iter().map(|&r| data[r]).collect())
-                }
-                ColumnData::Ordinal(data) => {
-                    ColumnData::Ordinal(rows.iter().map(|&r| data[r]).collect())
-                }
-                ColumnData::Nominal { codes, categories } => ColumnData::Nominal {
-                    codes: rows.iter().map(|&r| codes[r]).collect(),
-                    categories: categories.clone(),
-                },
-            })
-            .collect();
-        Table { schema: self.schema.clone(), columns, rows: rows.len() }
+        Table { frame: self.frame.subset(rows) }
     }
 
     /// The nominal label of `row` in column `name`.
@@ -445,9 +364,24 @@ impl Table {
     }
 }
 
+// `Table` keeps the exact pre-frame serialized shape by delegating to
+// `Frame`, which writes `{ schema, columns, rows }`.
+impl Serialize for Table {
+    fn to_value(&self) -> serde::Value {
+        self.frame.to_value()
+    }
+}
+
+impl Deserialize for Table {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        Frame::from_value(v).map(|frame| Table { frame })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TelemetryError;
 
     fn sample_table() -> Table {
         let schema = Schema::new(vec![
@@ -526,6 +460,12 @@ mod tests {
         assert_eq!(s.continuous("x").unwrap(), &[4.0, 1.0]);
         assert_eq!(s.nominal_label("k", 0).unwrap(), "c");
         assert_eq!(s.categories("k").unwrap(), t.categories("k").unwrap());
+        // The refactor made this sharing, not copying.
+        assert!(s
+            .frame()
+            .dictionary("k")
+            .unwrap()
+            .same_allocation(t.frame().dictionary("k").unwrap()));
     }
 
     #[test]
@@ -543,5 +483,14 @@ mod tests {
             Field::new("x", FeatureKind::Continuous),
             Field::new("x", FeatureKind::Nominal),
         ]);
+    }
+
+    #[test]
+    fn view_selects_rows_without_copying() {
+        let t = sample_table();
+        let rows = [0, 2];
+        let v = t.view(&rows);
+        assert_eq!(v.gather_continuous("x").unwrap(), vec![1.0, 3.0]);
+        assert_eq!(Table::from_frame(v.materialize()), t.subset(&rows));
     }
 }

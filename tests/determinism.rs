@@ -5,7 +5,7 @@
 //! output must not depend on how many worker threads ran it.
 
 use rainshine::analysis::dataset::{rack_day_table, FaultFilter};
-use rainshine::analysis::q1::{provision_servers, ProvisionParams};
+use rainshine::analysis::q1::{provision_components, provision_servers, ProvisionParams};
 use rainshine::analysis::q2::{mf_comparison, sf_comparison};
 use rainshine::analysis::q3::{dc_subset, env_analysis};
 use rainshine::cart::dataset::CartDataset;
@@ -142,6 +142,23 @@ fn run_report_bytes_do_not_depend_on_thread_count() {
             "deterministic report diverged between Sequential and {parallelism:?}"
         );
     }
+}
+
+/// Pin for the q1 cluster aggregation: its per-cluster maps are `BTreeMap`s
+/// keyed by leaf id, so the float sums and cluster listings accumulate in
+/// sorted-key order. With `HashMap` iteration the order would follow each
+/// map instance's random hash seed and repeated in-process runs could
+/// disagree in the last bits of the MF spare counts.
+#[test]
+fn q1_cluster_aggregation_is_repeatable() {
+    let output = Simulation::new(FleetConfig::small(), 2024).run();
+    let params = ProvisionParams::new(1.0, TimeGranularity::Daily);
+    let servers_a = provision_servers(&output, Workload::W6, &params).expect("q1 runs");
+    let servers_b = provision_servers(&output, Workload::W6, &params).expect("q1 runs");
+    assert_eq!(format!("{servers_a:?}"), format!("{servers_b:?}"));
+    let components_a = provision_components(&output, Workload::W6, &params).expect("q1-b runs");
+    let components_b = provision_components(&output, Workload::W6, &params).expect("q1-b runs");
+    assert_eq!(format!("{components_a:?}"), format!("{components_b:?}"));
 }
 
 #[test]
