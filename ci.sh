@@ -7,9 +7,12 @@ set -eu
 cargo fmt --check
 cargo build --release --workspace
 cargo test --workspace -q
-# The robustness claim, pinned explicitly: the full experiment suite and
-# the report byte-identity contract must hold on corrupted input.
-cargo test -q --test dirty_data
+# Fast-tier statistical conformance gate: 3-seed prefix of the calibrated
+# full-scenario sweep plus the differential oracle suite, byte-compared
+# against the committed baseline report (regenerate with the same flags
+# plus --report results/conformance.json after an intentional change).
+cargo run --release -q -p rainshine-conformance --bin conformance -- \
+    --scenario scenarios/full.json --seeds 3 --baseline results/conformance.json
 cargo test -q --test determinism run_report_bytes_do_not_depend_on_thread_count
 cargo clippy --workspace --all-targets -- -D warnings
 # Rustdoc must build warning-free (broken intra-doc links fail the gate).

@@ -731,25 +731,14 @@ pub enum AblationKind {
     CalendarOff,
 }
 
-/// Builds the medium-scale config with one effect disabled.
+/// Builds the medium-scale config with one effect disabled, via the
+/// [`rainshine_dcsim::hazard::HazardConfig`] ablation hooks.
 pub fn ablated_config(kind: AblationKind) -> FleetConfig {
     let mut config = FleetConfig::medium();
     match kind {
-        AblationKind::EnvironmentOff => {
-            config.hazard.disk_temp_slope = 0.0;
-            config.hazard.disk_hot_factor = 1.0;
-            config.hazard.disk_hot_dry_factor = 1.0;
-            config.hazard.low_rh_factor = 1.0;
-        }
-        AblationKind::BurstsOff => {
-            config.hazard.burst_base = 0.0;
-            config.hazard.burst_quiet_factor = 0.0;
-        }
-        AblationKind::CalendarOff => {
-            config.hazard.weekday_factor = 1.0;
-            config.hazard.weekend_factor = 1.0;
-            config.hazard.season_amplitude = 0.0;
-        }
+        AblationKind::EnvironmentOff => config.hazard.ablate_environment(),
+        AblationKind::BurstsOff => config.hazard.ablate_bursts(),
+        AblationKind::CalendarOff => config.hazard.ablate_calendar(),
     }
     config
 }

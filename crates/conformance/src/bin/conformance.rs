@@ -1,0 +1,171 @@
+//! Statistical conformance gate.
+//!
+//! ```text
+//! conformance --scenario PATH [--scenario PATH ...] [--seeds N]
+//!             [--threads N|auto] [--skip-oracles]
+//!             [--report PATH] [--baseline PATH]
+//! ```
+//!
+//! Loads each scenario spec, sweeps `--seeds` seeds per scenario (default
+//! 5, starting at the scenario's `seed_base`), evaluates every claim's
+//! recovery rate against its envelope, and runs the differential oracle
+//! suite once per scenario at `seed_base`. Exits non-zero if any claim
+//! misses its envelope, any oracle bound is violated, or the deterministic
+//! report drifted from `--baseline`.
+//!
+//! The deterministic report section is byte-identical at any `--threads`
+//! setting; wall times go only to the stderr summary.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rainshine_conformance::report::ConformanceReport;
+use rainshine_conformance::{oracle, run_scenario, Scenario};
+use rainshine_obs::Obs;
+use rainshine_parallel::Parallelism;
+
+struct Args {
+    scenarios: Vec<PathBuf>,
+    seeds: usize,
+    threads: Parallelism,
+    skip_oracles: bool,
+    report: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenarios: Vec::new(),
+        seeds: 5,
+        threads: Parallelism::Auto,
+        skip_oracles: false,
+        report: None,
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--scenario" => args.scenarios.push(PathBuf::from(value("--scenario")?)),
+            "--seeds" => {
+                args.seeds = value("--seeds")?.parse().map_err(|e| format!("bad seeds: {e}"))?;
+                if args.seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+            }
+            "--threads" => args.threads = Parallelism::from_flag(&value("--threads")?)?,
+            "--skip-oracles" => args.skip_oracles = true,
+            "--report" => args.report = Some(PathBuf::from(value("--report")?)),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: conformance --scenario PATH [--scenario PATH ...] [--seeds N] \
+                     [--threads N|auto] [--skip-oracles] [--report PATH] [--baseline PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.scenarios.is_empty() {
+        return Err("at least one --scenario is required".into());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<ConformanceReport, String> {
+    let obs = Obs::enabled();
+    let mut outcomes = Vec::new();
+    let mut oracles = Vec::new();
+    for path in &args.scenarios {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let scenario =
+            Scenario::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!(
+            "conformance: scenario `{}` — {} claims, {} seeds",
+            scenario.name,
+            scenario.claims.len(),
+            args.seeds
+        );
+        let seeds = scenario.seeds(args.seeds);
+        let outcome = run_scenario(&scenario, &seeds, args.threads, &obs)
+            .map_err(|e| format!("scenario `{}`: {e}", scenario.name))?;
+        outcomes.push(outcome);
+        if !args.skip_oracles {
+            let suite = oracle::standard_oracles(&scenario, scenario.seed_base)
+                .map_err(|e| format!("oracles for `{}`: {e}", scenario.name))?;
+            oracles.extend(suite);
+        }
+    }
+    Ok(ConformanceReport::new(outcomes, oracles, &obs.snapshot()))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("conformance: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("conformance: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprint!("{}", report.human_summary());
+
+    if let Some(path) = &args.report {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("conformance: cannot create {}: {e}", parent.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let json = format!("{}\n", report.deterministic_json());
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("conformance: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("conformance: report written to {}", path.display());
+    }
+
+    let mut failed = false;
+    let violations = report.violations();
+    if !violations.is_empty() {
+        failed = true;
+        for v in &violations {
+            eprintln!("conformance: VIOLATION: {v}");
+        }
+    }
+
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(baseline) => {
+                if let Err(e) = report.check_baseline(&baseline) {
+                    eprintln!("conformance: {e}");
+                    failed = true;
+                } else {
+                    eprintln!("conformance: baseline match ({})", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("conformance: cannot read baseline {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("conformance: all claims recovered, 0 oracle violations");
+        ExitCode::SUCCESS
+    }
+}

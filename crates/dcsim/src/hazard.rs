@@ -160,6 +160,13 @@ pub struct HazardConfig {
     pub burst_bad_lot_windows: Vec<(i64, i64)>,
     /// Burst-rate scaling for racks outside every bad-lot window.
     pub burst_quiet_factor: f64,
+
+    /// Scale on the spread of per-SKU intrinsic reliability around 1.0:
+    /// `1.0` keeps the catalog factors (S2 intrinsically 4× S4), `0.0`
+    /// flattens every SKU to the same intrinsic hazard (the SKU×workload
+    /// confound then comes from placement alone). Conformance scenarios
+    /// use this to ablate the Q2 effect.
+    pub sku_spread: f64,
 }
 
 impl Default for HazardConfig {
@@ -202,6 +209,7 @@ impl Default for HazardConfig {
             burst_storage_frac_range: 0.77,
             burst_bad_lot_windows: vec![(-1095, -850), (-180, 180)],
             burst_quiet_factor: 0.01,
+            sku_spread: 1.0,
         }
     }
 }
@@ -239,7 +247,61 @@ impl HazardConfig {
                 reason: "must be within [0, 1)",
             });
         }
+        if !self.sku_spread.is_finite() || self.sku_spread < 0.0 {
+            return Err(SimError::InvalidConfig {
+                field: "sku_spread",
+                reason: "must be non-negative finite",
+            });
+        }
+        if !self.disk_hot_threshold_f.is_finite() {
+            return Err(SimError::InvalidConfig {
+                field: "disk_hot_threshold_f",
+                reason: "must be finite",
+            });
+        }
         Ok(())
+    }
+
+    /// Flattens the bathtub (Fig. 9): no infant mortality, no wear-out,
+    /// and age-independent burst proneness.
+    pub fn ablate_age_bathtub(&mut self) {
+        self.infant_scale = 0.0;
+        self.wearout_slope = 0.0;
+        self.burst_infant_factor = 1.0;
+        self.burst_wearout_factor = 1.0;
+    }
+
+    /// Zeroes every environmental hazard effect (Figs. 5, 17, 18).
+    pub fn ablate_environment(&mut self) {
+        self.disk_temp_slope = 0.0;
+        self.disk_hot_factor = 1.0;
+        self.disk_hot_dry_factor = 1.0;
+        self.low_rh_factor = 1.0;
+    }
+
+    /// Flattens the weekday and seasonal cycles (Figs. 3, 4).
+    pub fn ablate_calendar(&mut self) {
+        self.weekday_factor = 1.0;
+        self.weekend_factor = 1.0;
+        self.season_amplitude = 0.0;
+    }
+
+    /// Removes the correlated-burst channel (Section V's simultaneous
+    /// failures).
+    pub fn ablate_bursts(&mut self) {
+        self.burst_base = 0.0;
+        self.burst_quiet_factor = 0.0;
+    }
+
+    /// A SKU's intrinsic reliability factor with [`Self::sku_spread`]
+    /// applied. Exactly the catalog factor at the default spread of 1.0
+    /// (no float rounding), so seed-pinned outputs are unchanged.
+    fn sku_reliability(&self, catalog_factor: f64) -> f64 {
+        if self.sku_spread == 1.0 {
+            catalog_factor
+        } else {
+            1.0 + (catalog_factor - 1.0) * self.sku_spread
+        }
     }
 
     /// Baseline per-unit daily rate of a component class.
@@ -355,7 +417,7 @@ impl HazardConfig {
         let units = rack.servers as f64 * self.units_per_server(rack, class);
         units
             * self.base_rate(class)
-            * spec.reliability_factor
+            * self.sku_reliability(spec.reliability_factor)
             * stress
             * self.age_factor(rack.age_months(day_start))
             * self.dow_factor(day_start, wl.weekday_sensitivity)
@@ -409,7 +471,7 @@ impl HazardConfig {
             * power
             * age_factor
             * lot
-            * spec.reliability_factor
+            * self.sku_reliability(spec.reliability_factor)
             * rack.frailty
     }
 
@@ -461,6 +523,56 @@ mod tests {
         assert!(h.validate().is_err());
         let h = HazardConfig { season_amplitude: 1.5, ..HazardConfig::default() };
         assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn sku_spread_default_is_exact_identity() {
+        let h = HazardConfig::default();
+        for f in [0.31, 1.0, 1.7, 4.0] {
+            assert_eq!(h.sku_reliability(f).to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn sku_spread_zero_flattens_reliability() {
+        let h = HazardConfig { sku_spread: 0.0, ..HazardConfig::default() };
+        assert_eq!(h.sku_reliability(4.0), 1.0);
+        assert_eq!(h.sku_reliability(0.25), 1.0);
+    }
+
+    #[test]
+    fn ablations_zero_their_effects() {
+        let mut h = HazardConfig::default();
+        h.ablate_age_bathtub();
+        assert_eq!(h.age_factor(0.0), 1.0);
+        assert_eq!(h.age_factor(60.0), 1.0);
+        let mut h = HazardConfig::default();
+        h.ablate_environment();
+        assert_eq!(h.env_factor(ComponentClass::Disk, env(95.0, 10.0)), 1.0);
+        assert_eq!(h.env_factor(ComponentClass::Dimm, env(65.0, 10.0)), 1.0);
+        let mut h = HazardConfig::default();
+        h.ablate_calendar();
+        let monday = SimTime::from_date(2012, 1, 2, 0);
+        assert_eq!(h.dow_factor(monday, 1.0), 1.0);
+        assert_eq!(h.season_factor(SimTime::from_date(2012, 9, 15, 0)), 1.0);
+        let mut h = HazardConfig::default();
+        h.ablate_bursts();
+        let fleet = Fleet::build(&FleetConfig::paper_scale());
+        let day = SimTime::from_date(2012, 6, 1, 0);
+        for rack in fleet.racks.iter().filter(|r| r.is_active(day)) {
+            assert_eq!(h.burst_rate(rack, day), 0.0);
+        }
+        // Every ablated config still validates.
+        for ablate in [
+            HazardConfig::ablate_age_bathtub,
+            HazardConfig::ablate_environment,
+            HazardConfig::ablate_calendar,
+            HazardConfig::ablate_bursts,
+        ] {
+            let mut h = HazardConfig::default();
+            ablate(&mut h);
+            assert!(h.validate().is_ok());
+        }
     }
 
     #[test]

@@ -3,169 +3,104 @@
 //! something the paper could not check on production data, and the main
 //! scientific payoff of reproducing a measurement study on a synthetic
 //! substrate.
+//!
+//! The claims and their tolerance envelopes live in `scenarios/full.json`,
+//! calibrated from 20-seed power sweeps (each claim's `derivation` field
+//! records the measured quartiles). The tests here run a 3-seed prefix of
+//! the same sweep, so a regression that narrows an effect below its
+//! power-derived envelope fails with the per-seed detail attached.
 
 use std::sync::OnceLock;
 
-use rainshine::analysis::dataset::{rack_day_table, FaultFilter};
-use rainshine::analysis::evidence;
-use rainshine::cart::dataset::CartDataset;
-use rainshine::cart::params::CartParams;
-use rainshine::cart::tree::Tree;
-use rainshine::dcsim::{FleetConfig, Simulation, SimulationOutput};
-use rainshine::telemetry::schema::columns;
-use rainshine::telemetry::table::Table;
+use rainshine_conformance::{run_scenario, Obs, Parallelism, Scenario, ScenarioOutcome};
 
-fn sim() -> &'static SimulationOutput {
-    static SIM: OnceLock<SimulationOutput> = OnceLock::new();
-    SIM.get_or_init(|| Simulation::new(FleetConfig::medium(), 777).run())
+/// Seeds per claim sweep. Every gated claim in `full.json` recovers in
+/// 20/20 calibration seeds, so any prefix is deterministic-green; 3 keeps
+/// the debug-profile test fast.
+const SEEDS: usize = 3;
+
+fn outcome() -> &'static ScenarioOutcome {
+    static OUTCOME: OnceLock<ScenarioOutcome> = OnceLock::new();
+    OUTCOME.get_or_init(|| {
+        let text =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/full.json"))
+                .expect("read scenarios/full.json");
+        let scenario = Scenario::from_json(&text).expect("parse full scenario");
+        let seeds = scenario.seeds(SEEDS);
+        run_scenario(&scenario, &seeds, Parallelism::Auto, &Obs::disabled()).expect("sweep")
+    })
 }
 
-fn hw_table() -> &'static Table {
-    static TABLE: OnceLock<Table> = OnceLock::new();
-    TABLE.get_or_init(|| rack_day_table(sim(), FaultFilter::AllHardware, 1).unwrap())
+#[track_caller]
+fn assert_claim(name: &str) {
+    let outcome = outcome();
+    let claim = outcome
+        .claims
+        .iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("claim `{name}` missing from scenarios/full.json"));
+    assert!(
+        claim.pass,
+        "claim `{name}` recovered {}/{} seeds (need {:.0}%): {:?}",
+        claim.recovered,
+        claim.seeds,
+        claim.min_recovery * 100.0,
+        claim.failures
+    );
 }
 
 #[test]
 fn fig2_dc1_regions_fail_more_than_dc2() {
-    let rows = evidence::by_region(hw_table()).unwrap();
-    let dc1_min = rows
-        .iter()
-        .filter(|r| r.label.starts_with("DC1"))
-        .map(|r| r.mean)
-        .fold(f64::INFINITY, f64::min);
-    let dc2_max =
-        rows.iter().filter(|r| r.label.starts_with("DC2")).map(|r| r.mean).fold(0.0f64, f64::max);
-    // The planted region factors are 0.95-1.25 (DC1) vs 0.7-0.8 (DC2), and
-    // DC1 additionally runs hotter.
-    assert!(dc1_min > dc2_max, "DC1 min {dc1_min} vs DC2 max {dc2_max}");
+    assert_claim("region_gap");
 }
 
 #[test]
 fn fig3_weekday_effect_recovered() {
-    let rows = evidence::by_day_of_week(hw_table(), 0).unwrap();
-    let mean_of = |label: &str| rows.iter().find(|r| r.label == label).unwrap().mean;
-    for weekday in ["Mon", "Tue", "Wed", "Thu", "Fri"] {
-        for weekend in ["Sun", "Sat"] {
-            assert!(
-                mean_of(weekday) > mean_of(weekend),
-                "{weekday} {} should exceed {weekend} {}",
-                mean_of(weekday),
-                mean_of(weekend)
-            );
-        }
-    }
+    assert_claim("weekday_spread");
 }
 
 #[test]
 fn fig4_second_half_of_year_elevated() {
-    let rows = evidence::by_month(hw_table(), 0).unwrap();
-    let half = |months: &[&str]| {
-        let vals: Vec<f64> =
-            rows.iter().filter(|r| months.contains(&r.label.as_str())).map(|r| r.mean).collect();
-        vals.iter().sum::<f64>() / vals.len() as f64
-    };
-    let h1 = half(&["Jan", "Feb", "Mar", "Apr", "May", "Jun"]);
-    let h2 = half(&["Jul", "Aug", "Sep", "Oct", "Nov", "Dec"]);
-    assert!(h2 > h1, "H2 {h2} should exceed H1 {h1}");
+    assert_claim("seasonal_lift");
 }
 
 #[test]
 fn fig5_low_humidity_elevated() {
-    let rows = evidence::by_rh_bin(hw_table()).unwrap();
-    let dry = rows.iter().find(|r| r.label == "20-30").map(|r| r.mean);
-    let mid = rows.iter().find(|r| r.label == "40-50").map(|r| r.mean);
-    if let (Some(dry), Some(mid)) = (dry, mid) {
-        assert!(dry > mid, "dry bin {dry} should exceed mid bin {mid}");
-    } else {
-        panic!("expected both RH bins populated: {rows:?}");
-    }
+    assert_claim("low_humidity_lift");
 }
 
 #[test]
 fn fig6_workload_ordering_w2_highest_w3_lowest() {
-    let rows = evidence::by_workload(hw_table()).unwrap();
-    let mean_of = |label: &str| rows.iter().find(|r| r.label == label).map(|r| r.mean);
-    let w2 = mean_of("W2").expect("W2 present");
-    let w3 = mean_of("W3").expect("W3 present");
-    for r in &rows {
-        if r.label != "W2" {
-            assert!(w2 >= r.mean, "W2 should be the highest, {} beats it", r.label);
-        }
-        if r.label != "W3" {
-            assert!(w3 <= r.mean, "W3 should be the lowest, {} is below", r.label);
-        }
-    }
+    assert_claim("workload_extremes");
 }
 
 #[test]
 fn fig9_infant_mortality_visible() {
-    let rows = evidence::by_age(hw_table()).unwrap();
-    let young = rows.iter().find(|r| r.label == "<5").unwrap().mean;
-    let mid = rows.iter().find(|r| r.label == "25-30").unwrap().mean;
-    assert!(young > 1.2 * mid, "young {young} vs mid-life {mid}");
+    assert_claim("age_bathtub");
+}
+
+#[test]
+fn fig18_temperature_threshold_discovered() {
+    assert_claim("temp_threshold");
 }
 
 #[test]
 fn cart_importance_ranks_planted_drivers_over_noise() {
-    // Day-of-week ordinal carries a real planted effect; week-of-year is
-    // nearly noise once month is present. SKU and workload must rank high.
-    let ds = CartDataset::regression(
-        hw_table(),
-        columns::FAILURE_RATE,
-        &[
-            columns::SKU,
-            columns::WORKLOAD,
-            columns::DATACENTER,
-            columns::AGE_MONTHS,
-            columns::TEMPERATURE_F,
-            columns::RATED_POWER_KW,
-            columns::WEEK,
-        ],
-    )
-    .unwrap();
-    let tree =
-        Tree::fit(&ds, &CartParams::default().with_min_sizes(400, 200).with_cp(0.001)).unwrap();
-    let importance = tree.variable_importance();
-    let score =
-        |name: &str| importance.iter().find(|(n, _)| n == name).map(|(_, s)| *s).unwrap_or(0.0);
-    assert!(
-        score(columns::SKU) + score(columns::WORKLOAD) + score(columns::DATACENTER) > 50.0,
-        "planted drivers should dominate: {importance:?}"
-    );
-    assert!(score(columns::WEEK) < 10.0, "week-of-year should be weak: {importance:?}");
+    assert_claim("driver_importance");
 }
 
 #[test]
 fn burst_prone_cohorts_have_heavier_mu_tails() {
-    use rainshine::telemetry::metrics::{self, SpatialGranularity};
-    use rainshine::telemetry::time::TimeGranularity;
-    let out = sim();
-    let hw = out.hardware_tickets();
-    let mu = metrics::mu(
-        &hw,
-        SpatialGranularity::Rack,
-        TimeGranularity::Daily,
-        out.config.start,
-        out.config.end,
-    );
-    let windows = out.config.hazard.burst_bad_lot_windows.clone();
-    let in_lot = |day: i64| windows.iter().any(|&(lo, hi)| (lo..=hi).contains(&day));
-    let mut lot_peaks = Vec::new();
-    let mut quiet_peaks = Vec::new();
-    for rack in &out.fleet.racks {
-        let key = SpatialGranularity::Rack.key(&rack.server_location(0));
-        let peak = mu.get(&key).map(|s| s.max() as f64).unwrap_or(0.0) / rack.servers as f64;
-        if in_lot(rack.commissioned_day) {
-            lot_peaks.push(peak);
-        } else {
-            quiet_peaks.push(peak);
-        }
-    }
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    assert!(
-        mean(&lot_peaks) > 1.5 * mean(&quiet_peaks),
-        "bad-lot cohorts {} vs quiet {}",
-        mean(&lot_peaks),
-        mean(&quiet_peaks)
-    );
+    assert_claim("burst_lot_tails");
+}
+
+#[test]
+fn mf_sku_ratio_within_power_envelope() {
+    assert_claim("mf_sku_ratio");
+}
+
+#[test]
+fn every_full_scenario_claim_recovers() {
+    let outcome = outcome();
+    assert!(outcome.pass, "scenario `full` failed claims: {:?}", outcome.failed_claims());
 }
